@@ -1,0 +1,52 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+paper's problem scale, prints the rendered table next to the paper's
+numbers, and records per-row fidelity ratios in the pytest-benchmark
+``extra_info`` so ``--benchmark-json`` output carries them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Tables are also written to ``benchmarks/output/`` for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def save_and_print(result):
+    """Persist a rendered experiment table and echo it to the terminal."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"{result.experiment_id}.txt")
+    text = result.render()
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    return path
+
+
+def attach_fidelity(benchmark, result):
+    """Record per-row measured/paper ratios on the benchmark record."""
+    ratios = {c.label: round(c.ratio, 3)
+              for c in result.comparisons if c.ratio}
+    benchmark.extra_info["fidelity_ratios"] = ratios
+    worst = result.worst_ratio()
+    if worst is not None:
+        benchmark.extra_info["worst_ratio"] = round(worst, 3)
+
+
+@pytest.fixture
+def record(benchmark):
+    """Run an experiment driver once under the benchmark, with reporting."""
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        save_and_print(result)
+        attach_fidelity(benchmark, result)
+        return result
+    return _run

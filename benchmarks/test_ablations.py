@@ -1,0 +1,115 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables: each ablation flips one design
+decision of the optimised kernel (or of the machine model) and measures
+the cost, quantifying *why* the paper's choices are the right ones.
+"""
+
+import pytest
+
+from repro.core.grid import LaplaceProblem
+from repro.core.jacobi_optimized import OptimizedConfig, OptimizedJacobiRunner
+from repro.arch.device import GrayskullDevice
+from repro.perfmodel.calibration import DEFAULT_COSTS
+from repro.perfmodel.scaling import JacobiScalingModel
+
+
+def _device():
+    return GrayskullDevice(dram_bank_capacity=32 << 20)
+
+
+def _run(cfg, problem=None, cores=(1, 1)):
+    problem = problem or LaplaceProblem(nx=1024, ny=64)
+    runner = OptimizedJacobiRunner(_device(), problem, cfg,
+                                   cores_y=cores[0], cores_x=cores[1])
+    return runner.run(100, sim_iterations=2, read_back=False)
+
+
+def test_ablation_dst_accumulation(benchmark):
+    """The paper's rejected FPU variant: accumulate in dst registers.
+
+    Confirms Section IV: 'this actually resulted in lower performance'.
+    """
+    def run():
+        base = _run(OptimizedConfig())
+        ablated = _run(OptimizedConfig(accumulate_in_dst=True))
+        return base.gpts, ablated.gpts
+    base, ablated = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nListing-2 pipeline: {base:.3f} GPt/s; "
+          f"dst accumulation: {ablated:.3f} GPt/s")
+    assert ablated < base
+
+
+def test_ablation_interleaving_for_jacobi(benchmark):
+    """Section V's conclusion: 'no real downside to using memory
+    interleaving' — the optimised kernel is at least as fast interleaved."""
+    def run():
+        inter = _run(OptimizedConfig(interleaved=True))
+        single = _run(OptimizedConfig(interleaved=False))
+        return inter.gpts, single.gpts
+    inter, single = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ninterleaved: {inter:.3f} GPt/s; single bank: {single:.3f}")
+    assert inter >= 0.9 * single
+
+
+def test_ablation_chunk_width(benchmark):
+    """Fewer, larger reads: shrinking the row chunk hurts (Section V
+    lesson 1 applied to the real kernel)."""
+    def run():
+        problem = LaplaceProblem(nx=1024, ny=32)
+        wide = _run(OptimizedConfig(chunk=1024), problem)
+        narrow = _run(OptimizedConfig(chunk=128), problem)
+        return wide.gpts, narrow.gpts
+    wide, narrow = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n1024-elem chunks: {wide:.3f} GPt/s; 128-elem: {narrow:.3f}")
+    assert wide > narrow
+
+
+def test_ablation_ragged_x_split(benchmark):
+    """Table VIII's 8x8 anomaly: an X split that breaks the 1024-element
+    chunk wastes FPU passes."""
+    def run():
+        model = JacobiScalingModel()
+        aligned = model.run(9216, 1024, 5000, 8, 9)   # wx = 1024
+        ragged = model.run(9216, 1024, 5000, 8, 8)    # wx = 1152
+        return (aligned.gpts / aligned.total_cores,
+                ragged.gpts / ragged.total_cores)
+    per_core_aligned, per_core_ragged = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    print(f"\nper-core GPt/s: aligned-X {per_core_aligned:.4f}, "
+          f"ragged-X {per_core_ragged:.4f}")
+    assert per_core_aligned > per_core_ragged
+
+
+def test_ablation_memcpy_cost_sensitivity(benchmark):
+    """If baby-core memcpy were 10x faster, the initial kernel's gap to
+    the optimised one would shrink dramatically — the cost model term the
+    whole Section-IV analysis hinges on."""
+    from repro.core.jacobi_initial import InitialConfig, InitialJacobiRunner
+
+    def run():
+        problem = LaplaceProblem(nx=256, ny=64)
+        slow = InitialJacobiRunner(_device(), problem).run(
+            50, sim_iterations=2, read_back=False)
+        fast_costs = DEFAULT_COSTS.with_overrides(
+            memcpy_rate=DEFAULT_COSTS.memcpy_rate * 10,
+            memcpy_call=DEFAULT_COSTS.memcpy_call / 10)
+        dev = GrayskullDevice(fast_costs, dram_bank_capacity=32 << 20)
+        fast = InitialJacobiRunner(dev, problem).run(
+            50, sim_iterations=2, read_back=False)
+        return slow.gpts, fast.gpts
+    slow, fast = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ninitial kernel: {slow:.4f} GPt/s; with 10x memcpy: {fast:.4f}")
+    assert fast > 2 * slow
+
+
+def test_ablation_print_server(benchmark):
+    """'Enabling the print server ... incurred significant overhead'
+    (Section IV): modelled as a uniform slowdown factor."""
+    def run():
+        base = _run(OptimizedConfig())
+        c = DEFAULT_COSTS
+        return base.kernel_time_s, base.kernel_time_s * c.print_server_slowdown
+    t_off, t_on = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nprint server off: {t_off:.4f}s; on (modelled): {t_on:.4f}s")
+    assert t_on > 10 * t_off

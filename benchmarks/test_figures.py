@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figures 1-6 (architecture/layout renderings).
+
+The paper's figures are diagrams, not data plots; each is rebuilt from
+the live simulator objects it depicts and written to benchmarks/output/.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import figures
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.mark.parametrize("fig_id", ["fig1", "fig2", "fig3", "fig4",
+                                    "fig5", "fig6"])
+def test_figure(benchmark, fig_id):
+    fn = getattr(figures, fig_id)
+    text = benchmark.pedantic(fn, rounds=1, iterations=1)
+    assert len(text) > 50
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, f"{fig_id}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)

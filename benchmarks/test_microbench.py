@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the simulator itself (host wall-clock).
+
+Unlike the table benchmarks — which measure *simulated* seconds — these
+measure how fast the reproduction's own machinery runs on the host:
+event-loop throughput, BF16 conversion rate, CB handshake cost, and a
+full Jacobi iteration through the DES.  Useful for keeping the simulator
+fast enough to sweep the paper's full problem sizes.
+"""
+
+import numpy as np
+
+from repro.arch.device import GrayskullDevice
+from repro.core.grid import LaplaceProblem
+from repro.core.jacobi_optimized import OptimizedJacobiRunner
+from repro.cpu.jacobi import jacobi_step_bf16
+from repro.dtypes.bf16 import bits_to_f32, f32_to_bits
+from repro.sim import Simulator
+from repro.sim.resources import FifoServer, Semaphore
+
+
+def test_event_loop_throughput(benchmark):
+    """Ping-pong of 2000 zero-delay events through the engine."""
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(1000):
+                yield sim.timeout(0)
+        sim.process(proc())
+        sim.process(proc())
+        sim.run()
+        return sim.events_processed
+    events = benchmark(run)
+    assert events >= 2000
+
+
+def test_semaphore_handoff(benchmark):
+    def run():
+        sim = Simulator()
+        sem = Semaphore(sim)
+
+        def producer():
+            for _ in range(500):
+                sem.release()
+                yield sim.timeout(0)
+
+        def consumer():
+            for _ in range(500):
+                yield sem.acquire()
+        sim.process(producer())
+        done = sim.process(consumer())
+        sim.run(until=done)
+        return True
+    assert benchmark(run)
+
+
+def test_fifo_server_submissions(benchmark):
+    def run():
+        sim = Simulator()
+        srv = FifoServer(sim, rate=1e9)
+        for _ in range(2000):
+            srv.submit(1024)
+        sim.run()
+        return srv.jobs
+    assert benchmark(run) == 2000
+
+
+def test_bf16_conversion_rate(benchmark):
+    """Round-trip a 1M-element array (the sweep-scale workload)."""
+    data = np.linspace(-100, 100, 1 << 20, dtype=np.float32)
+
+    def run():
+        return bits_to_f32(f32_to_bits(data))
+    out = benchmark(run)
+    assert out.shape == data.shape
+
+
+def test_bf16_jacobi_sweep_rate(benchmark):
+    """One functional BF16 sweep on a 512x512 grid."""
+    p = LaplaceProblem(nx=512, ny=512, left=1.0)
+    bits = p.initial_grid_bf16()
+    out = benchmark(jacobi_step_bf16, bits)
+    assert out.shape == bits.shape
+
+
+def test_des_jacobi_iteration(benchmark):
+    """A full DES Jacobi iteration (64x64, optimised kernel)."""
+    def run():
+        dev = GrayskullDevice(dram_bank_capacity=1 << 20)
+        res = OptimizedJacobiRunner(
+            dev, LaplaceProblem(nx=64, ny=64)).run(1, read_back=False)
+        return res.kernel_time_s
+    t = benchmark(run)
+    assert t > 0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table I (initial kernel generations vs CPU core).
+
+Paper scale: 512x512 BF16 elements, 10000 iterations (device timings are
+steady-state extrapolations from 2 fully simulated iterations).
+"""
+
+from repro.experiments import table1
+
+
+def test_table1(record):
+    result = record(table1.run)
+    # shape assertions on the regenerated table
+    rates = {c.label: c.measured for c in result.comparisons}
+    assert rates["Double buffering"] > rates["Data write optimised"] \
+        >= rates["Initial"]
+    assert rates["CPU single core"] / rates["Double buffering"] > 50

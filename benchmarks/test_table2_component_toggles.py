@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table II (component on/off retiming).
+
+Paper scale: 512x512 over 10000 iterations.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2(record):
+    result = record(table2.run)
+    rates = [c.measured for c in result.comparisons]
+    # the paper's ordering: skeleton > compute > write > read > memcpy
+    assert rates[0] > rates[1] > rates[2] > rates[3] > rates[4]
+    assert result.worst_ratio() < 2.0

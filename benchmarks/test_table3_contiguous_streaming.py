@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table III (contiguous streaming batch sweep).
+
+Paper scale: 4096x4096 32-bit integers, batch sizes 16384 B down to 4 B,
+read/write and sync/no-sync variants.
+"""
+
+from repro.experiments import table34
+
+
+def test_table3(record):
+    result = record(table34.run_table3)
+    m = {c.label: c.measured for c in result.comparisons}
+    # knee: runtime degrades sharply below ~1024-byte batches
+    assert m["4B read nosync"] > 10 * m["1024B read nosync"]
+    # sync discipline amplifies small batches
+    assert m["4B read sync"] > 5 * m["4B read nosync"]
+    # reading is hurt far more than writing by small batches
+    assert m["4B read nosync"] > 3 * m["4B write nosync"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table V (replicated DRAM reads)."""
+
+from repro.experiments import table567
+
+
+def test_table5(record):
+    result = record(table567.run_table5)
+    runtimes = [c.measured for c in result.comparisons]
+    # monotone growth with replication, roughly linear at high factors
+    assert runtimes == sorted(runtimes)
+    assert runtimes[-1] > 8 * runtimes[0]
+    assert result.worst_ratio() < 2.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table VI (interleaving page size x replication)."""
+
+from repro.experiments import table567
+
+
+def test_table6(record):
+    result = record(table567.run_table6)
+    m = {c.label: c.measured for c in result.comparisons}
+    # interleaving roughly halves heavy-replication runtime at 16-32K pages
+    assert m["page 32K repl 32"] < 0.8 * m["page none repl 32"]
+    assert m["page 16K repl 32"] < 0.8 * m["page none repl 32"]
+    # tiny pages are worse than no interleaving
+    assert m["page 1K repl 32"] > m["page none repl 32"]
+    # without replication interleaving is roughly free (within 2x)
+    assert m["page 32K repl 0"] < 2 * m["page none repl 0"]

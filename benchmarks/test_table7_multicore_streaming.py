@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table VII (streaming scaled across Tensix cores)."""
+
+from repro.experiments import table567
+
+
+def test_table7(record):
+    result = record(table567.run_table7)
+    m = {c.label: c.measured for c in result.comparisons}
+    # 2 cores beat 1...
+    assert m["page none cores 2"] < 0.8 * m["page none cores 1"]
+    # ...but the single-bank stream does not scale beyond 2 (the paper's
+    # surprise, reproduced: the shared bank saturates)
+    assert m["page none cores 8"] > 0.5 * m["page none cores 2"]
+    # Known deviation: our *interleaved* streams keep scaling with cores
+    # (8 banks really do have the bandwidth), while the paper's stay flat
+    # for reasons its authors could not pin down either ("NoC and/or DDR
+    # bandwidth"); see EXPERIMENTS.md.  Only the single-bank column is
+    # held to the fidelity band.
+    for n in (1, 2, 4, 8):
+        paper = {1: 0.010, 2: 0.005, 4: 0.005, 8: 0.005}[n]
+        measured = m[f"page none cores {n}"]
+        assert 0.5 < measured / paper < 2.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table VIII (performance & energy comparison).
+
+Paper scale: 1024x9216 BF16 elements over 5000 iterations; CPU 1/24
+cores, e150 1..108 cores, 2 and 4 cards.
+"""
+
+from repro.experiments import table8
+
+
+def test_table8(record):
+    result = record(table8.run)
+    m = {c.label: c.measured for c in result.comparisons}
+    # headline shapes
+    full_card = m["e150 108 cores GPt/s"]
+    cpu24 = m["cpu 24 cores GPt/s"]
+    assert full_card > 0.8 * cpu24               # comparable speed
+    assert m["cpu 24 cores energy"] / m["e150 108 cores energy"] > 4.0
+    assert m["e150 x 4 432 cores GPt/s"] > 3.0 * cpu24
+    # every row within 1.6x of the paper
+    assert result.worst_ratio() < 1.6

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Heat-spreader study: steady-state temperature in a chip lid.
+
+A domain-specific scenario of the kind the paper's introduction motivates
+(stencils underlie atmospheric modelling, CFD, seismology — and thermal
+analysis).  A copper heat spreader sits between a hot die edge (left,
+85 °C) and a cold plate (right, 25 °C), with adiabatic-ish warm top and
+bottom edges.  We solve the steady state on the simulated e150 and study:
+
+1. convergence: how many Jacobi iterations the BF16 hardware needs;
+2. accuracy: the converged field against the exact discrete solution;
+3. the cost of precision: BF16 (e150) vs FP32 (CPU) stall points.
+
+Usage::
+
+    python examples/heat_spreader.py
+"""
+
+import numpy as np
+
+from repro import JacobiSolver, LaplaceProblem
+from repro.cpu.jacobi import residual_f32, solve_direct
+from repro.dtypes.bf16 import bf16_round
+
+
+def main() -> None:
+    problem = LaplaceProblem(nx=96, ny=64, left=85.0, right=25.0,
+                             top=40.0, bottom=40.0, initial=25.0)
+    exact = solve_direct(problem.initial_grid_f32())
+
+    print("Heat spreader: 64x96 cells, die edge 85 C -> cold plate 25 C\n")
+    print(f"{'iterations':>10s} {'device max err (C)':>20s} "
+          f"{'cpu max err (C)':>17s} {'residual':>10s}")
+
+    # the convergence sweep uses the functional BF16 engine (bit-identical
+    # to the DES kernels — tests/core proves it — and much faster to run)
+    solver_dev = JacobiSolver(backend="e150-model", cores=(1, 1))
+    solver_cpu = JacobiSolver(backend="cpu")
+    last_dev_err = None
+    for iters in (50, 200, 800, 2000):
+        dev = solver_dev.solve(problem, iters)
+        cpu = solver_cpu.solve(problem, iters)
+        dev_err = np.abs(dev.grid_f32[1:-1, 1:-1]
+                         - exact[1:-1, 1:-1]).max()
+        cpu_err = np.abs(cpu.grid_f32[1:-1, 1:-1]
+                         - exact[1:-1, 1:-1]).max()
+        res = residual_f32(cpu.grid_f32)
+        print(f"{iters:10d} {dev_err:20.4f} {cpu_err:17.4f} {res:10.2e}")
+        last_dev_err = dev_err
+
+    print(f"\nBF16 resolution near 85 C: ~{85.0 * 2 ** -8:.2f} C. "
+          f"The device stalls at {last_dev_err:.2f} C error — its Jacobi "
+          "iteration reaches a BF16 rounding fixed point (updates smaller "
+          "than half a ULP vanish), while FP32 keeps converging.  This "
+          "quantifies the paper's 'BF16 vs FP32' caveat.")
+
+    # The cure: mixed-precision defect correction — keep the solution in
+    # FP32 on the host, use the device only for correction solves whose
+    # residual is rescaled into BF16's sweet spot.
+    from repro.core.refinement import solve_defect_correction
+    refined = solve_defect_correction(problem, outer_cycles=8,
+                                      inner_iterations=1500)
+    ref_err = np.abs(refined.grid_f32[1:-1, 1:-1]
+                     - exact[1:-1, 1:-1]).max()
+    print(f"\nwith defect correction ({refined.outer_cycles} outer cycles "
+          f"x 1500 BF16 device sweeps): max err {ref_err:.4f} C — the "
+          "stall is gone while the heavy lifting stays on the card.")
+
+    # engineering question: hottest point on the cold-plate interface
+    dev = solver_dev.solve(problem, 2000)
+    interface = refined.grid_f32[1:-1, -2]
+    print(f"hottest cold-plate interface cell: {interface.max():.1f} C "
+          f"(exact {exact[1:-1, -2].max():.1f} C)")
+
+    # performance/energy of the production-size version of this study
+    big = LaplaceProblem(nx=1024, ny=512, left=85.0, right=25.0,
+                         top=40.0, bottom=40.0)
+    perf = JacobiSolver(backend="e150-model", cores=(12, 9)).solve(
+        big, 5000, compute_answer=False)
+    print(f"\nfull-card production run ({big.ny}x{big.nx}, 5000 iters): "
+          f"{perf.gpts:.1f} GPt/s, {perf.time_s:.2f} s, "
+          f"{perf.energy_j:.0f} J on one e150")
+
+
+if __name__ == "__main__":
+    main()

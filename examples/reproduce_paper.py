@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Usage::
+
+    python examples/reproduce_paper.py            # paper-scale (minutes)
+    python examples/reproduce_paper.py --quick    # reduced scale (seconds)
+
+Paper-scale runs print each table with the paper's numbers and the
+measured/paper ratio per cell — the data behind EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+from repro.experiments import figures, table1, table2, table34, table567, table8
+
+
+def run_all(quick: bool):
+    results = []
+    t0 = time.time()
+
+    def stamp(result):
+        results.append(result)
+        print(result.render())
+        print(f"[{time.time() - t0:6.1f}s]\n")
+
+    if quick:
+        stamp(table1.run(nx=64, ny=64, iterations=200, sim_iterations=2))
+        stamp(table2.run(nx=64, ny=64, iterations=200, sim_iterations=2))
+        stamp(table34.run_table3(rows=64, row_elems=1024,
+                                 batch_sizes=[4096, 1024, 256, 64, 16, 4]))
+        stamp(table34.run_table4(rows=64, row_elems=1024,
+                                 batch_sizes=[4096, 1024, 256, 64, 16, 4]))
+        stamp(table567.run_table5(rows=64, row_elems=1024,
+                                  factors=(1, 2, 4, 8)))
+        stamp(table567.run_table6(rows=64, row_elems=1024,
+                                  page_sizes=[None, 32 << 10, 1 << 10],
+                                  replications=(0, 8)))
+        stamp(table567.run_table7(rows=64, row_elems=1024,
+                                  page_sizes=[None, 32 << 10],
+                                  core_counts=(1, 2, 4)))
+        stamp(table8.run(nx=1024, ny=128, iterations=50, rows=[
+            ("cpu", 1, None, None, 0, None, None),
+            ("cpu", 24, None, None, 0, None, None),
+            ("e150", 1, 1, 1, 1, None, None),
+            ("e150", 8, 2, 4, 1, None, None),
+            ("e150 x 2", 16, 4, 4, 2, None, None),
+        ]))
+    else:
+        stamp(table1.run())
+        stamp(table2.run())
+        stamp(table34.run_table3())
+        stamp(table34.run_table4())
+        stamp(table567.run_table5())
+        stamp(table567.run_table6())
+        stamp(table567.run_table7())
+        stamp(table8.run())
+
+    for fig_id, text in figures.all_figures().items():
+        print(f"--- {fig_id} " + "-" * 50)
+        print(text)
+        print()
+
+    print("=" * 66)
+    print("fidelity summary (measured/paper, worst row per table):")
+    for r in results:
+        worst = r.worst_ratio()
+        label = f"{worst:.2f}x" if worst else "n/a (reduced scale)"
+        print(f"  {r.experiment_id:8s} {label}")
+    return results
+
+
+if __name__ == "__main__":
+    run_all(quick="--quick" in sys.argv)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scale-out study: pick the right core geometry and card count.
+
+Sweeps Table-VIII-style configurations of the optimised Jacobi kernel on
+the paper's 1024x9216 production problem and answers two engineering
+questions the paper raises:
+
+1. Which decompositions waste FPU passes?  (X splits that break the
+   1024-element chunk.)
+2. Where does adding cores stop paying in *time* but keep paying in
+   *energy*?  (The card draws ~52 W no matter what, so always use all
+   108 workers.)
+
+Usage::
+
+    python examples/scale_out_study.py
+"""
+
+from repro import JacobiSolver, LaplaceProblem
+from repro.perfmodel.cpumodel import XeonModel
+
+PROBLEM = LaplaceProblem(nx=9216, ny=1024)
+ITERATIONS = 5000
+
+
+def main() -> None:
+    xeon = XeonModel()
+    cpu_gpts = xeon.throughput_pts(24) / 1e9
+    cpu_energy = xeon.energy_j(PROBLEM.nx * PROBLEM.ny, ITERATIONS, 24)
+    print(f"reference: 24-core Xeon = {cpu_gpts:.2f} GPt/s, "
+          f"{cpu_energy:.0f} J\n")
+
+    print(f"{'cores':>7s} {'geometry':>9s} {'GPt/s':>7s} {'vs CPU':>7s} "
+          f"{'energy J':>9s} {'per-core GPt/s':>15s}")
+    geometries = [(1, 1), (1, 2), (1, 4), (2, 4), (4, 4), (8, 4),
+                  (8, 8), (8, 9), (12, 9)]
+    best = None
+    for cy, cx in geometries:
+        res = JacobiSolver(backend="e150-model", cores=(cy, cx)).solve(
+            PROBLEM, ITERATIONS, compute_answer=False)
+        n = cy * cx
+        print(f"{n:7d} {cy:>4d}x{cx:<4d} {res.gpts:7.2f} "
+              f"{res.gpts / cpu_gpts:6.2f}x {res.energy_j:9.0f} "
+              f"{res.gpts / n:15.4f}")
+        if best is None or res.gpts > best[1].gpts:
+            best = ((cy, cx), res)
+
+    (cy, cx), res = best
+    print(f"\nbest single card: {cy}x{cx} at {res.gpts:.2f} GPt/s, "
+          f"{cpu_energy / res.energy_j:.1f}x less energy than the CPU")
+
+    print("\nX-split rule of thumb: keep the per-core width a multiple of "
+          "1024 elements (compare below the NoC-contention-free regime):")
+    for cy, cx in ((1, 9), (1, 8)):
+        r = JacobiSolver(backend="e150-model", cores=(cy, cx)).solve(
+            PROBLEM, ITERATIONS, compute_answer=False)
+        wx = -(-PROBLEM.nx // cx)
+        note = "1024-aligned" if wx % 1024 == 0 else \
+            f"ragged ({wx % 1024}-wide tail chunk wastes a full FPU pass)"
+        print(f"  {cy}x{cx}: per-core width {wx} -> "
+              f"{r.gpts / (cy * cx):.4f} GPt/s per core  [{note}]")
+
+    print("\nmulti-card scaling (no inter-card halos, as in the paper):")
+    for cards in (1, 2, 4):
+        res = JacobiSolver(backend="e150-model", cores=(12 * cards, 9),
+                           n_cards=cards).solve(PROBLEM, ITERATIONS,
+                                                compute_answer=False)
+        print(f"  {cards} card(s): {res.gpts:6.2f} GPt/s, "
+              f"{res.energy_j:4.0f} J "
+              f"({res.gpts / cpu_gpts:.2f}x CPU speed, "
+              f"{cpu_energy / res.energy_j:.1f}x less energy)")
+    print("\ncaveat (as in the paper): multi-card runs skip inter-card "
+          "halo exchange, so the numerical answer deviates near the cuts; "
+          "see tests/core/test_multicore.py for the quantified error.")
+
+
+if __name__ == "__main__":
+    main()

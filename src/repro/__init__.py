@@ -1,0 +1,38 @@
+"""repro — a reproduction of "Accelerating stencils on the Tenstorrent
+Grayskull RISC-V accelerator" (Brown & Barton, SC 2024 workshops).
+
+The package contains a functional + timing simulator of the Grayskull
+e150 and its tt-metal programming model, the paper's Jacobi stencil
+kernels (initial and optimised generations), the Section-V streaming
+benchmark, the CPU baseline, and drivers that regenerate every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import JacobiSolver, LaplaceProblem
+    result = JacobiSolver(backend="e150").solve(
+        LaplaceProblem(nx=64, ny=64), iterations=50)
+    print(result.gpts, "GPt/s;", result.energy_j, "J")
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured fidelity.
+"""
+
+from repro.core.grid import AlignedDomain, LaplaceProblem
+from repro.core.solver import JacobiResult, JacobiSolver
+from repro.core.stencil import StencilRunner, StencilSpec
+from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignedDomain",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "JacobiResult",
+    "JacobiSolver",
+    "LaplaceProblem",
+    "StencilRunner",
+    "StencilSpec",
+    "__version__",
+]

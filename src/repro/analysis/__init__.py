@@ -1,0 +1,7 @@
+"""Result analysis and paper-style table rendering."""
+
+from repro.analysis.metrics import gpt_per_s, ratio, speedup
+from repro.analysis.report import Table, format_seconds, format_si
+
+__all__ = ["Table", "format_seconds", "format_si", "gpt_per_s", "ratio",
+           "speedup"]

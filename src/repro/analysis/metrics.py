@@ -1,0 +1,38 @@
+"""Small metric helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+__all__ = ["gpt_per_s", "speedup", "ratio", "geomean_ratio"]
+
+
+def gpt_per_s(points: int, iterations: int, seconds: float) -> float:
+    """Billion points processed per second — the paper's Jacobi metric."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    if points <= 0 or iterations <= 0:
+        raise ValueError("points and iterations must be positive")
+    return points * iterations / seconds / 1e9
+
+
+def speedup(baseline_s: float, contender_s: float) -> float:
+    """How many times faster the contender is than the baseline."""
+    if baseline_s <= 0 or contender_s <= 0:
+        raise ValueError("times must be positive")
+    return baseline_s / contender_s
+
+
+def ratio(measured: float, reference: float) -> float:
+    """measured / reference — the per-row fidelity figure in EXPERIMENTS.md."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return measured / reference
+
+
+def geomean_ratio(pairs: list[tuple[float, float]]) -> float:
+    """Geometric mean of measured/reference over many rows."""
+    if not pairs:
+        raise ValueError("need at least one pair")
+    acc = 1.0
+    for measured, reference in pairs:
+        acc *= ratio(measured, reference)
+    return acc ** (1.0 / len(pairs))

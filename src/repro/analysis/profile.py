@@ -1,0 +1,130 @@
+"""Device profiling: per-core busy/stall breakdown and machine utilisation.
+
+The paper located its bottleneck by re-running with components disabled
+(Table II).  The simulator can do better: every baby core accounts its
+busy time (issue costs, FPU ops, memcpy) separately from its stall time
+(CB waits, semaphores, NoC barriers), and every bandwidth server tracks
+its occupancy — so one run yields the whole breakdown.
+
+Usage::
+
+    from repro.analysis.profile import profile_device
+    report = profile_device(device)     # after Finish(device)
+    print(report.render())
+    report.bottleneck()                 # e.g. ("(0, 0)", "dm0")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.report import Table
+from repro.arch.device import GrayskullDevice
+from repro.arch.tensix import COMPUTE, DATA_MOVER_0, DATA_MOVER_1
+
+__all__ = ["CoreProfile", "DeviceProfile", "profile_device"]
+
+_SLOTS = (DATA_MOVER_0, COMPUTE, DATA_MOVER_1)
+
+
+@dataclass(frozen=True)
+class CoreProfile:
+    """One core's per-slot busy/stall seconds."""
+
+    coord: Tuple[int, int]
+    busy: Dict[str, float]
+    stall: Dict[str, float]
+
+    def utilisation(self, slot: str, wall: float) -> float:
+        return self.busy[slot] / wall if wall > 0 else 0.0
+
+    @property
+    def busiest_slot(self) -> str:
+        return max(_SLOTS, key=lambda s: self.busy[s])
+
+
+@dataclass
+class DeviceProfile:
+    """Whole-device picture for one (or more) finished program(s)."""
+
+    wall_time_s: float
+    cores: List[CoreProfile]
+    noc0_read_bytes: int
+    noc1_write_bytes: int
+    bank_busy_s: List[float]
+    energy_j: float
+    dprint_messages: int
+
+    def bottleneck(self) -> Optional[Tuple[Tuple[int, int], str]]:
+        """The (core, slot) with the highest busy time — where optimisation
+        effort pays (the paper's Section-IV question, answered directly)."""
+        best = None
+        for cp in self.cores:
+            for slot in _SLOTS:
+                if best is None or cp.busy[slot] > best[2]:
+                    best = (cp.coord, slot, cp.busy[slot])
+        return (best[0], best[1]) if best else None
+
+    def bank_utilisation(self) -> List[float]:
+        if self.wall_time_s <= 0:
+            return [0.0] * len(self.bank_busy_s)
+        return [b / self.wall_time_s for b in self.bank_busy_s]
+
+    def render(self, max_cores: int = 12) -> str:
+        t = Table(
+            f"Device profile (wall {self.wall_time_s * 1e3:.3f} ms, "
+            f"{self.energy_j:.3f} J)",
+            ["core", "slot", "busy ms", "stall ms", "util %"])
+        shown = 0
+        for cp in self.cores:
+            if shown >= max_cores:
+                t.add_footnote(
+                    f"... {len(self.cores) - max_cores} more active cores")
+                break
+            for slot in _SLOTS:
+                if cp.busy[slot] == 0 and cp.stall[slot] == 0:
+                    continue
+                t.add_row(str(cp.coord), slot,
+                          f"{cp.busy[slot] * 1e3:.3f}",
+                          f"{cp.stall[slot] * 1e3:.3f}",
+                          f"{100 * cp.utilisation(slot, self.wall_time_s):.0f}")
+            shown += 1
+        banks = ", ".join(f"{u * 100:.0f}%" for u in self.bank_utilisation())
+        t.add_footnote(f"DRAM bank occupancy: [{banks}]")
+        t.add_footnote(
+            f"NoC0 read {self.noc0_read_bytes >> 10} KiB, "
+            f"NoC1 written {self.noc1_write_bytes >> 10} KiB"
+            + (f"; {self.dprint_messages} DPRINT messages"
+               if self.dprint_messages else ""))
+        bn = self.bottleneck()
+        if bn:
+            t.add_footnote(f"bottleneck: core {bn[0]} slot {bn[1]}")
+        return t.render()
+
+
+def profile_device(device: GrayskullDevice,
+                   wall_time_s: Optional[float] = None) -> DeviceProfile:
+    """Snapshot the device's accounting into a :class:`DeviceProfile`.
+
+    ``wall_time_s`` defaults to the device clock (covering everything run
+    so far); pass a program's duration to scope utilisation to it.
+    """
+    wall = wall_time_s if wall_time_s is not None else device.sim.now
+    cores = []
+    for c in device.workers:
+        if any(c.busy_time[s] or c.stall_time[s] for s in _SLOTS):
+            cores.append(CoreProfile(coord=c.coord,
+                                     busy=dict(c.busy_time),
+                                     stall=dict(c.stall_time)))
+    return DeviceProfile(
+        wall_time_s=wall,
+        cores=cores,
+        noc0_read_bytes=device.noc0.stats.read_bytes
+        + device.noc1.stats.read_bytes,
+        noc1_write_bytes=device.noc0.stats.write_bytes
+        + device.noc1.stats.write_bytes,
+        bank_busy_s=[b.port.busy_time for b in device.dram.banks],
+        energy_j=device.energy.energy_j,
+        dprint_messages=len(device.dprint_log),
+    )

@@ -1,0 +1,67 @@
+"""Plain-text table rendering in the style of the paper's tables.
+
+The experiment drivers produce structured rows; :class:`Table` renders
+them with aligned columns so a benchmark run prints something directly
+comparable to the paper's Tables I–VIII.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table", "format_si", "format_seconds"]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """1234567 → '1.23 M'; handles the ranges the tables need."""
+    for factor, prefix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= factor:
+            return f"{value / factor:.{digits}g} {prefix}{unit}".rstrip()
+    return f"{value:.{digits}g} {unit}".rstrip()
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a runtime the way the paper's tables do (3 decimals)."""
+    if seconds >= 0.0005:
+        return f"{seconds:.3f}"
+    return f"{seconds:.2e}"
+
+
+class Table:
+    """A fixed-column text table with a title and optional footnote."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+        self.footnotes: List[str] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} "
+                "columns")
+        self.rows.append([str(c) for c in cells])
+
+    def add_footnote(self, text: str) -> None:
+        self.footnotes.append(text)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [self.title, "=" * max(len(self.title), len(header)),
+                 header, sep]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.footnotes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.render()

@@ -1,0 +1,105 @@
+"""Kernel timeline tracing: export runs to Chrome's trace viewer.
+
+Attach a :class:`Tracer` to a device before launching programs and every
+baby-core busy interval and stall is recorded; :meth:`Tracer.save` writes
+a ``chrome://tracing`` / Perfetto-compatible JSON file where each Tensix
+core is a process and each baby-core slot a thread — the pipeline overlap
+the paper reasons about (Section IV's "concurrently computing, reading
+the next tile, and writing the previous") becomes directly visible.
+
+Usage::
+
+    from repro.analysis.tracing import Tracer
+    device.tracer = Tracer()
+    ... run programs ...
+    device.tracer.save("run.trace.json")   # open in ui.perfetto.dev
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["Tracer", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval on a baby core's timeline (seconds)."""
+
+    core: Tuple[int, int]
+    slot: str
+    kind: str          #: "busy" or "stall"
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Tracer:
+    """Collects baby-core intervals; attach as ``device.tracer``."""
+
+    def __init__(self, record_stalls: bool = True):
+        self.record_stalls = record_stalls
+        self.events: List[TraceEvent] = []
+
+    def record(self, core: Tuple[int, int], slot: str, kind: str,
+               t_start: float, t_end: float) -> None:
+        if t_end <= t_start:
+            return
+        if kind == "stall" and not self.record_stalls:
+            return
+        self.events.append(TraceEvent(core, slot, kind, t_start, t_end))
+
+    # -- export -----------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """The Chrome trace-event JSON structure (complete 'X' events)."""
+        out = []
+        for ev in self.events:
+            out.append({
+                "name": ev.kind,
+                "cat": ev.kind,
+                "ph": "X",
+                "ts": ev.t_start * 1e6,          # microseconds
+                "dur": ev.duration * 1e6,
+                "pid": f"core{ev.core[0]},{ev.core[1]}",
+                "tid": ev.slot,
+                "args": {},
+            })
+        return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+    # -- quick queries ------------------------------------------------------
+    def busy_time(self, core: Optional[Tuple[int, int]] = None,
+                  slot: Optional[str] = None) -> float:
+        return sum(ev.duration for ev in self.events
+                   if ev.kind == "busy"
+                   and (core is None or ev.core == core)
+                   and (slot is None or ev.slot == slot))
+
+    def overlap(self, slot_a: str, slot_b: str,
+                core: Tuple[int, int]) -> float:
+        """Seconds during which both slots of ``core`` were busy at once —
+        the pipelining the optimised kernel exists to create."""
+        a = sorted((e.t_start, e.t_end) for e in self.events
+                   if e.kind == "busy" and e.core == core and e.slot == slot_a)
+        b = sorted((e.t_start, e.t_end) for e in self.events
+                   if e.kind == "busy" and e.core == core and e.slot == slot_b)
+        total = 0.0
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if hi > lo:
+                total += hi - lo
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total

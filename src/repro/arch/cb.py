@@ -1,0 +1,256 @@
+"""Circular buffers: the FIFO pipes between baby cores in a Tensix core.
+
+tt-metal semantics (Section II-A of the paper):
+
+* A CB is a wrap-around queue of fixed-size **pages** in L1.
+* The producer calls ``cb_reserve_back(n)`` (blocks until ``n`` pages are
+  free), fills them (often by pointing a NoC read straight at
+  ``get_write_ptr()``), then ``cb_push_back(n)`` commits them.
+* The consumer calls ``cb_wait_front(n)`` (blocks until ``n`` pages are
+  committed), uses them, then ``cb_pop_front(n)`` recycles them.
+
+Two read-side extensions from the paper are modelled:
+
+* :meth:`set_rd_ptr` — the ``cb_set_rd_ptr``/``llk_set_read_ptr`` API the
+  authors *added to tt-metal* (Section VI) so the unpacker reads tile data
+  from an arbitrary L1 address instead of the CB's own pages, eliminating
+  the expensive data-mover memcpy.
+* Data-mover-side and compute-side pointer state are **separate** (the
+  paper found data movers and compute cores keep private copies of the CB
+  structure, so a pointer poked by the data mover is invisible to
+  compute): the alias is installed on the consumer side only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.arch.sram import Sram
+from repro.sim import Event, SimulationError, Simulator
+
+__all__ = ["CircularBuffer", "CBError"]
+
+
+class CBError(RuntimeError):
+    """Protocol violation on a circular buffer (over-push, over-pop, ...)."""
+
+
+class CircularBuffer:
+    """A paged FIFO in one core's L1."""
+
+    #: supported element formats: BF16 (2 B) and FP32 (4 B — Wormhole mode).
+    DTYPES = {"bf16": 2, "fp32": 4}
+
+    def __init__(self, sim: Simulator, sram: Sram, cb_id: int,
+                 page_size: int, n_pages: int, name: str = "",
+                 dtype: str = "bf16"):
+        if page_size <= 0 or n_pages <= 0:
+            raise ValueError("page_size and n_pages must be positive")
+        if dtype not in self.DTYPES:
+            raise ValueError(f"dtype must be one of {sorted(self.DTYPES)}")
+        if page_size % self.DTYPES[dtype]:
+            raise ValueError(
+                f"page_size {page_size} not a multiple of the {dtype} "
+                "element size")
+        self.sim = sim
+        self.sram = sram
+        self.cb_id = cb_id
+        self.page_size = page_size
+        self.n_pages = n_pages
+        self.dtype = dtype
+        self.elem_bytes = self.DTYPES[dtype]
+        self.name = name or f"cb{cb_id}"
+        self.base = sram.allocate(page_size * n_pages, align=32)
+
+        # Queue state: absolute page counters (never wrap; modulo for slots).
+        self._reserved = 0   # pages handed to the producer (reserve_back)
+        self._pushed = 0     # pages committed (push_back)
+        self._popped = 0     # pages recycled (pop_front)
+        self._wait_q: Deque[tuple[int, Event]] = deque()
+        self._reserve_q: Deque[tuple[int, Event]] = deque()
+        # Consumer-side read-pointer alias (cb_set_rd_ptr), in L1 address.
+        self._rd_alias: Optional[int] = None
+        # Producer-side write-pointer alias (cb_set_wr_ptr) — the CB-alias
+        # flexibility the paper *recommends* tt-metal add (Section VIII);
+        # used by the SRAM-resident extension so pack_tile writes straight
+        # into a local slab.
+        self._wr_alias: Optional[int] = None
+
+    # -- invariant helpers -------------------------------------------------
+    @property
+    def pages_committed(self) -> int:
+        """Pages the consumer may wait_front on right now."""
+        return self._pushed - self._popped
+
+    @property
+    def pages_free(self) -> int:
+        """Pages the producer may still reserve."""
+        return self.n_pages - (self._reserved - self._popped)
+
+    def _slot_addr(self, abs_page: int) -> int:
+        return self.base + (abs_page % self.n_pages) * self.page_size
+
+    # -- producer side -------------------------------------------------------
+    def reserve_back(self, n: int = 1) -> Event:
+        """Block until ``n`` pages are free, then reserve them."""
+        if not 0 < n <= self.n_pages:
+            raise CBError(f"{self.name}: cannot reserve {n} of {self.n_pages} pages")
+        ev = self.sim.event(name=f"{self.name}.reserve({n})")
+        self._reserve_q.append((n, ev))
+        self._drain()
+        return ev
+
+    def push_back(self, n: int = 1) -> None:
+        """Commit ``n`` previously reserved pages to the consumer."""
+        if n <= 0:
+            raise CBError("push count must be positive")
+        if self._pushed + n > self._reserved:
+            raise CBError(
+                f"{self.name}: push_back({n}) without matching reserve_back "
+                f"(pushed={self._pushed}, reserved={self._reserved})")
+        self._pushed += n
+        self._drain()
+
+    def get_write_ptr(self) -> int:
+        """L1 address of the next page to fill (after reserve_back)."""
+        if self._reserved == self._pushed:
+            raise CBError(f"{self.name}: get_write_ptr without reserved pages")
+        return self._slot_addr(self._pushed)
+
+    def _view_bits(self, addr: int) -> np.ndarray:
+        if self.dtype == "fp32":
+            return self.sram.view_u32(addr, self.page_size // 4)
+        return self.sram.view_u16(addr, self.page_size // 2)
+
+    def back_view_bits(self, page_offset: int = 0) -> np.ndarray:
+        """Producer view of a back page in the CB's element width."""
+        if self._wr_alias is not None:
+            return self._view_bits(self._wr_alias
+                                   + page_offset * self.page_size)
+        if self._pushed + page_offset >= self._reserved:
+            raise CBError(f"{self.name}: back page {page_offset} not reserved")
+        return self._view_bits(self._slot_addr(self._pushed + page_offset))
+
+    def front_view_bits(self, page_offset: int = 0) -> np.ndarray:
+        """Consumer view of a committed page (honours the rd alias)."""
+        if self._rd_alias is not None:
+            return self._view_bits(self._rd_alias
+                                   + page_offset * self.page_size)
+        if page_offset >= self.pages_committed:
+            raise CBError(
+                f"{self.name}: front page {page_offset} beyond committed "
+                f"{self.pages_committed}")
+        return self._view_bits(self._slot_addr(self._popped + page_offset))
+
+    def back_view_u16(self, page_offset: int = 0) -> np.ndarray:
+        """16-bit view of a reserved-but-unpushed page (producer fill).
+
+        With a write-pointer alias installed, the view targets the alias
+        instead (no reservation needed — the pages are not used).
+        """
+        if self._wr_alias is not None:
+            addr = self._wr_alias + page_offset * self.page_size
+            return self.sram.view_u16(addr, self.page_size // 2)
+        if self._pushed + page_offset >= self._reserved:
+            raise CBError(f"{self.name}: back page {page_offset} not reserved")
+        addr = self._slot_addr(self._pushed + page_offset)
+        return self.sram.view_u16(addr, self.page_size // 2)
+
+    def set_wr_ptr(self, l1_addr: int) -> None:
+        """Alias the producer write pointer to ``l1_addr`` (extension).
+
+        Implements the API flexibility the paper's conclusions ask for:
+        "enabling CBs to alias local memory".  Unlike ``set_rd_ptr`` the
+        alias persists until replaced or cleared with ``clear_wr_ptr``
+        (each batch installs a fresh one anyway).
+        """
+        if l1_addr < 0 or l1_addr + self.page_size > self.sram.capacity:
+            raise CBError(f"{self.name}: wr_ptr alias {l1_addr} out of L1")
+        if l1_addr % 2:
+            raise CBError(f"{self.name}: wr_ptr alias must be 2-byte aligned")
+        self._wr_alias = l1_addr
+
+    def clear_wr_ptr(self) -> None:
+        self._wr_alias = None
+
+    # -- consumer side -------------------------------------------------------
+    def wait_front(self, n: int = 1) -> Event:
+        """Block until ``n`` pages are committed (does not consume them)."""
+        if not 0 < n <= self.n_pages:
+            raise CBError(f"{self.name}: cannot wait for {n} of {self.n_pages} pages")
+        ev = self.sim.event(name=f"{self.name}.wait({n})")
+        self._wait_q.append((n, ev))
+        self._drain()
+        return ev
+
+    def pop_front(self, n: int = 1) -> None:
+        """Recycle ``n`` consumed pages back to the producer."""
+        if n <= 0:
+            raise CBError("pop count must be positive")
+        if self._popped + n > self._pushed:
+            raise CBError(
+                f"{self.name}: pop_front({n}) exceeds committed pages "
+                f"({self.pages_committed})")
+        self._popped += n
+        self._rd_alias = None  # an alias is valid for one wait/pop window
+        self._drain()
+
+    def get_read_ptr(self) -> int:
+        """L1 address the unpacker will read from (honours set_rd_ptr)."""
+        if self._rd_alias is not None:
+            return self._rd_alias
+        if self.pages_committed == 0:
+            raise CBError(f"{self.name}: get_read_ptr with no committed pages")
+        return self._slot_addr(self._popped)
+
+    def front_view_u16(self, page_offset: int = 0) -> np.ndarray:
+        """16-bit view of committed page ``page_offset`` (or the alias)."""
+        if self._rd_alias is not None:
+            addr = self._rd_alias + page_offset * self.page_size
+            return self.sram.view_u16(addr, self.page_size // 2)
+        if page_offset >= self.pages_committed:
+            raise CBError(
+                f"{self.name}: front page {page_offset} beyond committed "
+                f"{self.pages_committed}")
+        addr = self._slot_addr(self._popped + page_offset)
+        return self.sram.view_u16(addr, self.page_size // 2)
+
+    def set_rd_ptr(self, l1_addr: int) -> None:
+        """``cb_set_rd_ptr``: alias the consumer read pointer to ``l1_addr``.
+
+        The paper's zero-copy trick: the unpacker reads tile data straight
+        out of the data mover's local buffer.  The alias is cleared by the
+        next ``pop_front`` (each batch re-installs it after
+        ``cb_wait_front`` completes, exactly as Section VI describes).
+        """
+        if l1_addr < 0 or l1_addr + self.page_size > self.sram.capacity:
+            raise CBError(f"{self.name}: rd_ptr alias {l1_addr} out of L1")
+        if l1_addr % 2:
+            raise CBError(f"{self.name}: rd_ptr alias must be 2-byte aligned")
+        self._rd_alias = l1_addr
+
+    # -- scheduling ----------------------------------------------------------
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._reserve_q:
+                n, ev = self._reserve_q[0]
+                if self.pages_free >= n:
+                    self._reserved += n
+                    self._reserve_q.popleft()
+                    ev.succeed()
+                    progressed = True
+            if self._wait_q:
+                n, ev = self._wait_q[0]
+                if self.pages_committed >= n:
+                    self._wait_q.popleft()
+                    ev.succeed()
+                    progressed = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<CB {self.name} pages={self.n_pages}x{self.page_size}B "
+                f"committed={self.pages_committed} free={self.pages_free}>")

@@ -1,0 +1,192 @@
+"""DRAM subsystem: 8 banks, byte-accurate storage, alignment behaviour.
+
+The behaviour the paper reverse-engineered in Section IV-B is modelled
+mechanically, so the same bugs the authors hit occur here and the same
+fixes (Listing 4's aligned-read helper, Fig. 5's padded allocation) cure
+them:
+
+* **Unaligned reads** (address not on a 256-bit / 32-byte boundary)
+  "provide incorrect values": the DMA engine fetches from the address
+  rounded *down* to the alignment boundary, so the caller receives data
+  shifted by ``addr % 32`` bytes.
+* **Unaligned writes**: a write that contiguously extends the immediately
+  preceding write to the same bank is merged correctly by the controller
+  (the paper found contiguous unaligned writes "do work as long as these
+  come from separate locations in a buffer"); any *non-contiguous*
+  unaligned write corrupts — it lands at the rounded-down address.
+
+Each bank also owns a :class:`~repro.sim.resources.FifoServer` modelling
+its service port, used by the NoC for contention timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+from repro.sim import Simulator
+from repro.sim.resources import FifoServer
+
+__all__ = ["DramBank", "Dram", "AccessFault"]
+
+
+class AccessFault(Exception):
+    """Out-of-range DRAM access (simulator-level protocol error)."""
+
+
+@dataclass
+class _WriteTracker:
+    """Remembers the end of the last write for the merge heuristic."""
+
+    last_end: int = -1
+
+
+class DramBank:
+    """One DDR bank: a flat byte array plus a service-port server."""
+
+    def __init__(self, sim: Simulator, bank_id: int, capacity: int,
+                 costs: CostModel):
+        self.sim = sim
+        self.bank_id = bank_id
+        self.capacity = capacity
+        self.costs = costs
+        self.storage = np.zeros(capacity, dtype=np.uint8)
+        self.port = FifoServer(sim, rate=costs.dram_bank_bw,
+                               name=f"dram{bank_id}.port")
+        self._writes = _WriteTracker()
+        #: last service direction at the bank port ('r'/'w'); a flip costs
+        #: the controller a turnaround stall (see Noc bookings).
+        self.last_dir = ""
+        # Counters for experiments/diagnostics.
+        self.reads = 0
+        self.writes = 0
+        self.unaligned_reads = 0
+        self.unaligned_writes = 0
+        self.corrupted_writes = 0
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.capacity:
+            raise AccessFault(
+                f"bank {self.bank_id}: access [{addr}, {addr + size}) outside "
+                f"capacity {self.capacity}")
+
+    # -- functional access (timing handled by the NoC) --------------------
+    def read(self, addr: int, size: int) -> np.ndarray:
+        """Fetch ``size`` bytes; unaligned addresses return shifted data.
+
+        Returns a *copy* (the DMA engine snapshots the bank at issue time).
+        """
+        self._check(addr, size)
+        self.reads += 1
+        align = self.costs.dram_alignment
+        if addr % align:
+            # DMA fetches from the aligned-down address: the caller gets
+            # bytes shifted by the misalignment — "incorrect values".
+            self.unaligned_reads += 1
+            base = addr - (addr % align)
+            self._check(base, size)
+            return self.storage[base:base + size].copy()
+        return self.storage[addr:addr + size].copy()
+
+    def write(self, addr: int, data: np.ndarray) -> None:
+        """Store bytes; non-contiguous unaligned writes corrupt (see module doc)."""
+        data = np.asarray(data, dtype=np.uint8).ravel()
+        size = data.size
+        self._check(addr, size)
+        self.writes += 1
+        align = self.costs.dram_alignment
+        if addr % align:
+            self.unaligned_writes += 1
+            if addr == self._writes.last_end:
+                # Controller merges a contiguous continuation correctly.
+                self.storage[addr:addr + size] = data
+            else:
+                # Non-contiguous unaligned write: lands rounded-down,
+                # clobbering earlier bytes — "corrupt values being stored".
+                self.corrupted_writes += 1
+                base = addr - (addr % align)
+                self.storage[base:base + size] = data
+                self._writes.last_end = base + size
+                return
+        else:
+            self.storage[addr:addr + size] = data
+        self._writes.last_end = addr + size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DramBank {self.bank_id} {self.capacity >> 20} MiB>"
+
+
+class Dram:
+    """The card's DRAM: banks plus a trivial single-bank allocator.
+
+    Buffer-level policy (single-bank vs interleaved placement) lives in
+    :mod:`repro.ttmetal.buffers`; this class only provides raw banks and
+    round-robin bank assignment for new single-bank buffers, mirroring how
+    tt-metal spreads allocations.
+    """
+
+    def __init__(self, sim: Simulator, costs: CostModel = DEFAULT_COSTS,
+                 bank_capacity: Optional[int] = None):
+        self.sim = sim
+        self.costs = costs
+        cap = bank_capacity if bank_capacity is not None else (
+            costs.dram_bytes // costs.n_dram_banks)
+        # Keep the default backing arrays modest: the paper's card has
+        # 1 GiB/bank but no experiment touches more than ~256 MiB/bank.
+        cap = min(cap, 256 << 20)
+        self.banks: List[DramBank] = [
+            DramBank(sim, b, cap, costs) for b in range(costs.n_dram_banks)]
+        self._next_bank = 0
+        self._bank_brk = [0] * len(self.banks)  # per-bank bump pointer
+
+    @property
+    def n_banks(self) -> int:
+        return len(self.banks)
+
+    def bank(self, bank_id: int) -> DramBank:
+        return self.banks[bank_id]
+
+    def allocate(self, size: int, bank_id: Optional[int] = None,
+                 align: Optional[int] = None) -> tuple[int, int]:
+        """Reserve ``size`` bytes in one bank; returns ``(bank_id, address)``.
+
+        Banks are assigned round-robin when unspecified (each new buffer in
+        a fresh bank, like tt-metal's allocator).  Addresses are aligned to
+        the DRAM access alignment by default.
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        align = align or self.costs.dram_alignment
+        if bank_id is None:
+            bank_id = self._next_bank
+            self._next_bank = (self._next_bank + 1) % self.n_banks
+        brk = self._bank_brk[bank_id]
+        addr = (brk + align - 1) // align * align
+        if addr + size > self.banks[bank_id].capacity:
+            raise AccessFault(
+                f"bank {bank_id} exhausted: need {size} at {addr}, "
+                f"capacity {self.banks[bank_id].capacity}")
+        self._bank_brk[bank_id] = addr + size
+        return bank_id, addr
+
+    def allocate_interleaved(self, size: int, page_size: int) -> list[tuple[int, int]]:
+        """Reserve page slots round-robin across all banks.
+
+        Returns ``[(bank_id, address), ...]`` — one entry per page, cycling
+        bank 0,1,...,7,0,... exactly as tt-metal interleaves pages.
+        """
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if page_size > self.costs.max_interleave_page:
+            raise ValueError(
+                f"page_size {page_size} exceeds the "
+                f"{self.costs.max_interleave_page}-byte tt-metal maximum")
+        n_pages = (size + page_size - 1) // page_size
+        pages = []
+        for p in range(n_pages):
+            pages.append(self.allocate(page_size,
+                                       bank_id=p % self.n_banks))
+        return pages

@@ -1,0 +1,212 @@
+"""Network-on-chip model: transfer timing between cores and DRAM banks.
+
+Each Tensix data-mover core owns one unidirectional link onto one of the
+two NoCs (reads typically ride NoC0, writes NoC1 — the paper's Fig. 3
+layout).  A DRAM transfer occupies both the caller's link and the target
+bank's service port; its completion event fires when the later of the two
+bookings drains, plus the exposed completion latency (which a
+``noc_async_*_barrier`` makes visible).
+
+Request *issue* costs (the ~105 ns/read, ~24.5 ns/write of Table III) are
+charged to the issuing baby core by the kernel API, not here: they bound
+throughput when requests are tiny, while the link/bank servers bound it
+when requests are large — matching the knee at ~1024-byte batches in
+Tables III/IV.
+
+Functional semantics: bytes move at issue time (reads snapshot the bank;
+writes land immediately, subject to the alignment rules in
+:mod:`repro.arch.dram`); the returned event carries only timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.arch.dram import Dram, DramBank
+from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+from repro.sim import Event, Simulator
+from repro.sim.resources import FifoServer
+
+__all__ = ["Noc", "NocTransferStats", "ReadJob", "WriteJob"]
+
+
+@dataclass
+class NocTransferStats:
+    """Per-NoC traffic counters (exported by experiment reports)."""
+
+    read_requests: int = 0
+    read_bytes: int = 0
+    write_requests: int = 0
+    write_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class ReadJob:
+    """One DRAM→SRAM read: functional destination + addressing."""
+
+    bank_id: int
+    addr: int
+    size: int
+
+
+@dataclass(frozen=True)
+class WriteJob:
+    """One SRAM→DRAM write with its payload."""
+
+    bank_id: int
+    addr: int
+    data: np.ndarray
+
+
+class Noc:
+    """One of the two NoCs: shared access to the DRAM bank ports."""
+
+    def __init__(self, sim: Simulator, noc_id: int, dram: Dram,
+                 costs: CostModel = DEFAULT_COSTS):
+        if noc_id not in (0, 1):
+            raise ValueError("Grayskull has NoC 0 and NoC 1 only")
+        self.sim = sim
+        self.noc_id = noc_id
+        self.dram = dram
+        self.costs = costs
+        self.stats = NocTransferStats()
+
+    def new_link(self, name: str) -> FifoServer:
+        """A data-mover's private injection link onto this NoC."""
+        return FifoServer(self.sim, rate=self.costs.noc_link_bw,
+                          name=f"noc{self.noc_id}.link.{name}")
+
+    # -- reads -------------------------------------------------------------
+    def read_burst(self, link: FifoServer, jobs: Sequence[ReadJob],
+                   out: List[np.ndarray] | None = None, *,
+                   replay: bool = False,
+                   interleaved: bool = False) -> Event:
+        """Issue a burst of DRAM reads; returns one completion event.
+
+        ``out`` (if given) collects the per-job byte arrays in order.
+        ``replay`` marks re-reads of recently-fetched rows (row-buffer
+        coalescing, Table V/VI); ``interleaved`` raises the effective link
+        rate because consecutive pages stream from different banks.
+        """
+        if not jobs:
+            ev = self.sim.event(name="noc.read.empty")
+            ev.succeed()
+            return ev
+        total = 0
+        per_bank: dict[int, int] = {}
+        for job in jobs:
+            data = self.dram.bank(job.bank_id).read(job.addr, job.size)
+            if out is not None:
+                out.append(data)
+            total += job.size
+            per_bank[job.bank_id] = per_bank.get(job.bank_id, 0) + job.size
+        self.stats.read_requests += len(jobs)
+        self.stats.read_bytes += total
+
+        link_bytes = total
+        if replay:
+            link_bytes = total * self.costs.replay_coalesce
+        if interleaved:
+            # Bursts striped over banks overlap in the DMA engine: model as
+            # a faster effective link rate by scaling the booked bytes.
+            link_bytes *= self.costs.noc_link_bw / self.costs.noc_link_bw_interleaved
+        done_events = [link.submit(link_bytes)]
+        for bank_id, nbytes in per_bank.items():
+            done_events.append(self._book_bank(bank_id, nbytes, "r"))
+        return self._completion(done_events, self.costs.read_latency)
+
+    def read(self, link: FifoServer, job: ReadJob, *,
+             replay: bool = False, interleaved: bool = False
+             ) -> tuple[np.ndarray, Event]:
+        """Single read; returns ``(bytes, completion_event)``."""
+        out: List[np.ndarray] = []
+        ev = self.read_burst(link, [job], out, replay=replay,
+                             interleaved=interleaved)
+        return out[0], ev
+
+    def book_read(self, link: FifoServer, bank_id: int, nbytes: float,
+                  n_requests: int, *, replay: bool = False) -> Event:
+        """Timing-only booking for a pre-gathered uniform read burst."""
+        self.stats.read_requests += n_requests
+        self.stats.read_bytes += int(nbytes)
+        link_bytes = nbytes * (self.costs.replay_coalesce if replay else 1.0)
+        events = [link.submit(link_bytes),
+                  self._book_bank(bank_id, nbytes, "r")]
+        return self._completion(events, self.costs.read_latency)
+
+    def book_write(self, link: FifoServer, bank_id: int, nbytes: float,
+                   n_requests: int) -> Event:
+        """Timing-only booking for a pre-scattered uniform write burst."""
+        self.stats.write_requests += n_requests
+        self.stats.write_bytes += int(nbytes)
+        events = [link.submit(nbytes),
+                  self._book_bank(bank_id, nbytes, "w")]
+        return self._completion(events, self.costs.write_latency)
+
+    # -- writes -------------------------------------------------------------
+    def write_burst(self, link: FifoServer, jobs: Sequence[WriteJob], *,
+                    interleaved: bool = False) -> Event:
+        """Issue a burst of DRAM writes; returns one completion event."""
+        if not jobs:
+            ev = self.sim.event(name="noc.write.empty")
+            ev.succeed()
+            return ev
+        total = 0
+        per_bank: dict[int, int] = {}
+        for job in jobs:
+            self.dram.bank(job.bank_id).write(job.addr, job.data)
+            n = int(np.asarray(job.data).size)
+            total += n
+            per_bank[job.bank_id] = per_bank.get(job.bank_id, 0) + n
+        self.stats.write_requests += len(jobs)
+        self.stats.write_bytes += total
+
+        done_events = [link.submit(total)]
+        for bank_id, nbytes in per_bank.items():
+            done_events.append(self._book_bank(bank_id, nbytes, "w"))
+        return self._completion(done_events, self.costs.write_latency)
+
+    def write(self, link: FifoServer, job: WriteJob) -> Event:
+        return self.write_burst(link, [job])
+
+    # -- core-to-core (extension: Section VIII future work) ------------------
+    def sram_copy(self, link: FifoServer, src: np.ndarray,
+                  dst: np.ndarray) -> Event:
+        """Direct SRAM→SRAM transfer between cores over the NoC.
+
+        Not used by the paper's kernels (Grayskull cores exchange data via
+        DRAM) but provided for the neighbour-communication extension the
+        paper sketches in its future work.
+        """
+        if src.size != dst.size:
+            raise ValueError("sram_copy size mismatch")
+        dst[:] = src
+        done = link.submit(int(src.size))
+        return self._completion([done], self.costs.read_latency)
+
+    # -- helpers ------------------------------------------------------------
+    def _book_bank(self, bank_id: int, nbytes: int, direction: str) -> Event:
+        """Occupy a bank port, charging a turnaround stall on a read↔write
+        direction flip (the DRAM-controller cost that makes interleaving
+        reads with synchronous writes expensive on the same bank)."""
+        bank = self.dram.bank(bank_id)
+        extra = self.costs.dram_turnaround if (
+            bank.last_dir and bank.last_dir != direction) else 0.0
+        bank.last_dir = direction
+        return bank.port.submit(nbytes, extra_time=extra)
+
+    def _completion(self, done_events: Iterable[Event],
+                    latency: float) -> Event:
+        """Completion = all bookings drained + exposed latency."""
+        events = list(done_events)
+        ev = self.sim.event(name=f"noc{self.noc_id}.done")
+        gate = self.sim.all_of(events)
+
+        def _fire(_g):
+            ev.succeed(delay=latency)
+
+        gate.add_callback(_fire)
+        return ev

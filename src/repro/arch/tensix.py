@@ -1,0 +1,111 @@
+"""A Tensix core: five baby RISC-V cores around 1 MB of L1 and the FPU.
+
+Programmer-visible structure (paper Fig. 1):
+
+* **data mover 0** ("reader" in the paper's design) — issues NoC reads,
+  owns a link onto NoC 0;
+* **data mover 1** ("writer") — issues NoC writes, link onto NoC 1;
+* **compute** — the three compute baby cores (unpack/math/pack) exposed as
+  one logical kernel, driving the :class:`~repro.arch.fpu.Fpu`;
+* 1 MB L1 (:class:`~repro.arch.sram.Sram`) holding circular buffers and
+  local scratch;
+* semaphores for data-mover ↔ data-mover iteration hand-off (the green
+  dashed line in Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.arch.cb import CircularBuffer
+from repro.arch.fpu import Fpu
+from repro.arch.noc import Noc
+from repro.arch.sram import Sram
+from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+from repro.sim import Simulator
+from repro.sim.resources import FifoServer, Semaphore
+
+__all__ = ["TensixCore", "DATA_MOVER_0", "DATA_MOVER_1", "COMPUTE"]
+
+#: Kernel slot identifiers (mirror tt-metal's RISCV_0 / RISCV_1 / COMPUTE).
+DATA_MOVER_0 = "dm0"
+DATA_MOVER_1 = "dm1"
+COMPUTE = "compute"
+
+
+class TensixCore:
+    """One Tensix core at grid position ``(x, y)``."""
+
+    def __init__(self, sim: Simulator, x: int, y: int,
+                 noc0: Noc, noc1: Noc,
+                 costs: CostModel = DEFAULT_COSTS,
+                 is_worker: bool = True):
+        self.sim = sim
+        self.x = x
+        self.y = y
+        self.costs = costs
+        self.is_worker = is_worker
+        self.sram = Sram(costs.sram_bytes)
+        self.fpu = Fpu()
+        self.noc0 = noc0
+        self.noc1 = noc1
+        #: injection links: dm0 reads over NoC0, dm1 writes over NoC1.
+        self.links: Dict[str, FifoServer] = {
+            DATA_MOVER_0: noc0.new_link(f"core{x},{y}.dm0"),
+            DATA_MOVER_1: noc1.new_link(f"core{x},{y}.dm1"),
+        }
+        self.cbs: Dict[int, CircularBuffer] = {}
+        self.semaphores: Dict[int, Semaphore] = {}
+        #: accumulated busy time per kernel slot, for utilisation reports.
+        self.busy_time: Dict[str, float] = {
+            DATA_MOVER_0: 0.0, DATA_MOVER_1: 0.0, COMPUTE: 0.0}
+        #: accumulated blocking time (CB waits, semaphores, NoC barriers).
+        self.stall_time: Dict[str, float] = {
+            DATA_MOVER_0: 0.0, DATA_MOVER_1: 0.0, COMPUTE: 0.0}
+
+    @property
+    def coord(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+    # -- resources -----------------------------------------------------------
+    def create_cb(self, cb_id: int, page_size: int, n_pages: int,
+                  name: str = "", dtype: str = "bf16") -> CircularBuffer:
+        """Allocate a circular buffer in this core's L1 (host-side config)."""
+        if cb_id in self.cbs:
+            raise ValueError(f"CB {cb_id} already exists on core {self.coord}")
+        cb = CircularBuffer(self.sim, self.sram, cb_id, page_size, n_pages,
+                            name=name or f"core{self.x},{self.y}.cb{cb_id}",
+                            dtype=dtype)
+        self.cbs[cb_id] = cb
+        return cb
+
+    def create_semaphore(self, sem_id: int, initial: int = 0) -> Semaphore:
+        if sem_id in self.semaphores:
+            raise ValueError(f"semaphore {sem_id} already exists")
+        sem = Semaphore(self.sim, value=initial,
+                        name=f"core{self.x},{self.y}.sem{sem_id}")
+        self.semaphores[sem_id] = sem
+        return sem
+
+    def allocate_l1(self, size: int, align: int = 32) -> int:
+        """Host-side L1 scratch allocation (local read buffers etc.)."""
+        return self.sram.allocate(size, align=align)
+
+    def describe(self) -> str:
+        """Text rendering of the core's structure (regenerates paper Fig. 1)."""
+        cb_lines = "\n".join(
+            f"  |  CB{cb.cb_id}: {cb.n_pages} pages x {cb.page_size} B "
+            f"@ L1[{cb.base:#x}]" for cb in self.cbs.values()) or \
+            "  |  (no circular buffers configured)"
+        return (
+            f"Tensix core ({self.x},{self.y})\n"
+            f"  +- baby core dm0  -> router -> NoC0 (data in)\n"
+            f"  +- baby core dm1  -> router -> NoC1 (data out)\n"
+            f"  +- baby cores unpack/math/pack -> FPU "
+            f"(16384-bit SIMD, BF16 32x32 tiles)\n"
+            f"  +- L1 SRAM: {self.sram.capacity // 1024} KiB "
+            f"({self.sram.free // 1024} KiB free)\n" + cb_lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "worker" if self.is_worker else "storage"
+        return f"<TensixCore ({self.x},{self.y}) {kind}>"

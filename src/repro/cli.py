@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``    run the Jacobi solver on a chosen backend/variant
+``stream``   run one streaming-benchmark configuration
+``table``    regenerate one of the paper's tables (I..VIII)
+``figures``  regenerate the paper's figures as text
+``profile``  run the optimised kernel and print the busy/stall profile
+
+Examples::
+
+    python -m repro solve --nx 64 --ny 64 --iterations 200 --backend e150
+    python -m repro table 8
+    python -m repro table 3 --quick
+    python -m repro stream --read-batch 64 --sync-read
+    python -m repro profile --variant initial
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Accelerating stencils on the "
+                    "Tenstorrent Grayskull RISC-V accelerator'")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("solve", help="run the Jacobi solver")
+    s.add_argument("--nx", type=int, default=64)
+    s.add_argument("--ny", type=int, default=64)
+    s.add_argument("--iterations", type=int, default=100)
+    s.add_argument("--backend", default="auto",
+                   choices=["auto", "cpu", "e150", "e150-model"])
+    s.add_argument("--variant", default="optimized",
+                   choices=["initial", "write_opt", "double_buffered",
+                            "optimized"])
+    s.add_argument("--cores", default="1x1",
+                   help="core grid as YxX, e.g. 12x9")
+    s.add_argument("--cards", type=int, default=1)
+    s.add_argument("--threads", type=int, default=1,
+                   help="CPU threads (cpu backend)")
+    s.add_argument("--sim-iterations", type=int, default=None,
+                   help="simulate only this many iterations and "
+                        "extrapolate")
+
+    t = sub.add_parser("table", help="regenerate a paper table")
+    t.add_argument("number", type=int, choices=range(1, 9),
+                   help="table number (1-8)")
+    t.add_argument("--quick", action="store_true",
+                   help="reduced problem size (no paper comparison)")
+
+    sub.add_parser("figures", help="regenerate the paper's figures")
+
+    st = sub.add_parser("stream", help="run one streaming configuration")
+    st.add_argument("--rows", type=int, default=1024)
+    st.add_argument("--row-elems", type=int, default=1024)
+    st.add_argument("--read-batch", type=int, default=None)
+    st.add_argument("--write-batch", type=int, default=None)
+    st.add_argument("--sync-read", action="store_true")
+    st.add_argument("--sync-write", action="store_true")
+    st.add_argument("--noncontiguous", action="store_true")
+    st.add_argument("--replication", type=int, default=0)
+    st.add_argument("--page-size", type=int, default=None,
+                    help="interleave page size in bytes")
+    st.add_argument("--cores", type=int, default=1)
+
+    pr = sub.add_parser("profile", help="run a kernel and print its profile")
+    pr.add_argument("--nx", type=int, default=64)
+    pr.add_argument("--ny", type=int, default=64)
+    pr.add_argument("--iterations", type=int, default=5)
+    pr.add_argument("--variant", default="optimized",
+                    choices=["initial", "write_opt", "double_buffered",
+                             "optimized"])
+    return p
+
+
+def _cmd_solve(args) -> int:
+    from repro.core.grid import LaplaceProblem
+    from repro.core.solver import JacobiSolver
+    cy, _, cx = args.cores.partition("x")
+    solver = JacobiSolver(backend=args.backend, variant=args.variant,
+                          cores=(int(cy), int(cx or 1)),
+                          n_cards=args.cards, n_threads=args.threads)
+    problem = LaplaceProblem(nx=args.nx, ny=args.ny)
+    res = solver.solve(problem, args.iterations,
+                       sim_iterations=args.sim_iterations)
+    print(f"backend={res.backend} variant={res.variant} "
+          f"cores={res.cores} cards={res.n_cards}")
+    print(f"time    {res.time_s:.6g} s")
+    print(f"rate    {res.gpts:.4f} GPt/s")
+    print(f"energy  {res.energy_j:.4g} J")
+    if res.grid_f32 is not None:
+        interior = res.interior
+        print(f"answer  interior range [{interior.min():.4g}, "
+              f"{interior.max():.4g}]")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import table1, table2, table34, table567, table8
+    quick = args.quick
+    n = args.number
+    if n == 1:
+        res = table1.run(nx=64, ny=64, iterations=200, sim_iterations=2) \
+            if quick else table1.run()
+    elif n == 2:
+        res = table2.run(nx=64, ny=64, iterations=200, sim_iterations=2) \
+            if quick else table2.run()
+    elif n == 3:
+        res = table34.run_table3(rows=64, row_elems=1024) if quick \
+            else table34.run_table3()
+    elif n == 4:
+        res = table34.run_table4(rows=64, row_elems=1024) if quick \
+            else table34.run_table4()
+    elif n == 5:
+        res = table567.run_table5(rows=64, row_elems=1024) if quick \
+            else table567.run_table5()
+    elif n == 6:
+        res = table567.run_table6(rows=64, row_elems=1024,
+                                  replications=(0, 8)) if quick \
+            else table567.run_table6()
+    elif n == 7:
+        res = table567.run_table7(rows=64, row_elems=1024,
+                                  core_counts=(1, 2, 4)) if quick \
+            else table567.run_table7()
+    else:
+        res = table8.run(nx=1024, ny=128, iterations=20, rows=[
+            ("cpu", 1, None, None, 0, None, None),
+            ("cpu", 24, None, None, 0, None, None),
+            ("e150", 4, 2, 2, 1, None, None),
+            ("e150", 108, 12, 9, 1, None, None),
+        ]) if quick else table8.run()
+    print(res.render())
+    return 0
+
+
+def _cmd_figures(_args) -> int:
+    from repro.experiments.figures import all_figures
+    for fig_id, text in all_figures().items():
+        print(f"--- {fig_id} " + "-" * 50)
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.streaming import StreamConfig, run_streaming
+    cfg = StreamConfig(
+        rows=args.rows, row_elems=args.row_elems,
+        read_batch=args.read_batch, write_batch=args.write_batch,
+        sync_read=args.sync_read, sync_write=args.sync_write,
+        contiguous=not args.noncontiguous,
+        replication=args.replication, page_size=args.page_size,
+        n_cores=args.cores)
+    res = run_streaming(cfg)
+    print(f"moved {cfg.total_bytes >> 20} MiB in {res.runtime_s:.6f} s "
+          f"({res.read_bw / 1e9:.2f} GB/s read, "
+          f"{res.write_bw / 1e9:.2f} GB/s write)")
+    print(f"requests: {res.read_requests} reads, "
+          f"{res.write_requests} writes")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.analysis.profile import profile_device
+    from repro.arch.device import GrayskullDevice
+    from repro.core.grid import LaplaceProblem
+    from repro.core.jacobi_initial import InitialConfig, InitialJacobiRunner
+    from repro.core.jacobi_optimized import OptimizedJacobiRunner
+    dev = GrayskullDevice(dram_bank_capacity=64 << 20)
+    problem = LaplaceProblem(nx=args.nx, ny=args.ny)
+    if args.variant == "optimized":
+        OptimizedJacobiRunner(dev, problem).run(args.iterations,
+                                                read_back=False)
+    else:
+        cfg = {"initial": InitialConfig.initial,
+               "write_opt": InitialConfig.write_optimised,
+               "double_buffered": InitialConfig.double_buffered_cfg,
+               }[args.variant]()
+        InitialJacobiRunner(dev, problem, cfg).run(args.iterations,
+                                                   read_back=False)
+    print(profile_device(dev).render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "solve": _cmd_solve,
+        "table": _cmd_table,
+        "figures": _cmd_figures,
+        "stream": _cmd_stream,
+        "profile": _cmd_profile,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

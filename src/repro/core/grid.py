@@ -1,0 +1,198 @@
+"""The Laplace diffusion problem and its DRAM layout on the Grayskull.
+
+:class:`LaplaceProblem` describes the 2-D domain with Dirichlet boundary
+conditions (the paper's setup: high values on one side diffusing across).
+
+:class:`AlignedDomain` is the Fig.-5 memory layout: every row is padded on
+the left and right with a 256-bit (16 BF16 element) region that is empty
+except for the boundary-condition value adjacent to the interior.  The
+padding guarantees that every 32-element output tile write starts on a
+256-bit boundary — the fix the authors adopted after discovering that
+non-contiguous unaligned DRAM writes corrupt memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.dtypes.bf16 import BF16_BYTES, bf16_round, bits_to_f32, f32_to_bits
+
+__all__ = ["LaplaceProblem", "AlignedDomain", "PAD_ELEMS"]
+
+#: 256 bits of BF16 elements: the alignment pad on each side of a row.
+PAD_ELEMS = 16
+
+
+@dataclass(frozen=True)
+class LaplaceProblem:
+    """Laplace's equation ∇²u = 0 on an ``ny`` × ``nx`` interior grid.
+
+    Dirichlet boundaries: constant values on each side (the paper's
+    example diffuses high values from the left toward low values on the
+    right).  The initial interior guess is constant.
+    """
+
+    nx: int
+    ny: int
+    left: float = 1.0
+    right: float = 0.0
+    top: float = 0.0
+    bottom: float = 0.0
+    initial: float = 0.0
+
+    def __post_init__(self):
+        if self.nx <= 0 or self.ny <= 0:
+            raise ValueError("domain dimensions must be positive")
+
+    # -- float32 state ------------------------------------------------------
+    def initial_grid_f32(self) -> np.ndarray:
+        """Full ``(ny+2, nx+2)`` float32 grid with halo boundary rows/cols."""
+        g = np.full((self.ny + 2, self.nx + 2), self.initial, dtype=np.float32)
+        g[:, 0] = self.left
+        g[:, -1] = self.right
+        g[0, :] = self.top
+        g[-1, :] = self.bottom
+        # Corners: take the horizontal boundary (never read by the 5-point
+        # stencil, but keep them deterministic).
+        g[0, 0] = g[0, -1] = self.top
+        g[-1, 0] = g[-1, -1] = self.bottom
+        return g
+
+    def initial_grid_bf16(self) -> np.ndarray:
+        """Same grid as BF16 bit patterns (``uint16``)."""
+        return f32_to_bits(self.initial_grid_f32())
+
+    def boundary_extrema(self) -> tuple[float, float]:
+        """(min, max) over the boundary data and the initial guess.
+
+        By the discrete maximum principle every Jacobi iterate stays inside
+        this interval — a key solver invariant the tests enforce.  (The
+        exact converged solution oracle lives in
+        :func:`repro.cpu.jacobi.solve_direct`.)
+        """
+        vals = (self.left, self.right, self.top, self.bottom, self.initial)
+        return (min(vals), max(vals))
+
+    def render(self, max_cells: int = 12) -> str:
+        """Text rendering of the bounded domain (regenerates Fig. 2)."""
+        nx = min(self.nx, max_cells)
+        ny = min(self.ny, max_cells)
+        lines = ["B " * (nx + 2)]
+        for _ in range(ny):
+            lines.append("B " + ". " * nx + "B")
+        lines.append("B " * (nx + 2))
+        legend = (f"B = boundary condition (left={self.left:g}, "
+                  f"right={self.right:g}, top={self.top:g}, "
+                  f"bottom={self.bottom:g}); . = grid cell")
+        return "\n".join(lines) + "\n" + legend
+
+
+class AlignedDomain:
+    """The Fig.-5 padded DRAM image of a problem state.
+
+    Layout (all BF16, row-major):
+
+    ``[16-elem left pad | nx interior elems | 16-elem right pad]`` × (ny+2)
+    rows, where row 0 and row ny+1 hold the top/bottom boundary values and
+    the pads are empty except for their innermost element, which carries
+    the left/right boundary condition.
+
+    Byte geometry: row stride = ``(nx + 32) · 2`` bytes; the interior of
+    each row starts 32 bytes into the row — always 256-bit aligned, which
+    is what makes the 32-element tile writes of both kernel generations
+    legal.
+    """
+
+    #: both pads are one 256-bit DRAM access wide, whatever the element.
+    PAD_BYTES = 32
+
+    def __init__(self, problem: LaplaceProblem, elem_bytes: int = BF16_BYTES):
+        if problem.nx % 32:
+            raise ValueError(
+                f"the Grayskull kernels need nx to be a multiple of 32 "
+                f"(tile width); got {problem.nx}")
+        if elem_bytes not in (2, 4):
+            raise ValueError("elem_bytes must be 2 (BF16) or 4 (FP32)")
+        self.problem = problem
+        self.elem_bytes = elem_bytes
+        #: NumPy dtype of the raw bit patterns (uint16 for BF16, uint32
+        #: for FP32 — the Wormhole-precision mode of the stencil kernels).
+        self.bits_dtype = np.uint16 if elem_bytes == 2 else np.uint32
+        self.pad_elems = self.PAD_BYTES // elem_bytes
+        self.nx = problem.nx
+        self.ny = problem.ny
+        self.row_elems = self.nx + 2 * self.pad_elems
+        self.row_bytes = self.row_elems * elem_bytes
+        self.n_rows = self.ny + 2
+        self.nbytes = self.n_rows * self.row_bytes
+
+    # -- packing ------------------------------------------------------------
+    def pack(self, grid_bits: Optional[np.ndarray] = None) -> np.ndarray:
+        """Build the padded BF16 image (``uint16`` of shape (rows, row_elems)).
+
+        ``grid_bits`` is a full ``(ny+2, nx+2)`` halo grid; defaults to the
+        problem's initial state.
+        """
+        if grid_bits is None:
+            if self.elem_bytes == 2:
+                grid_bits = self.problem.initial_grid_bf16()
+            else:
+                grid_bits = self.problem.initial_grid_f32().view(np.uint32)
+        g = np.asarray(grid_bits, dtype=self.bits_dtype)
+        if g.shape != (self.ny + 2, self.nx + 2):
+            raise ValueError(
+                f"expected halo grid ({self.ny + 2},{self.nx + 2}), "
+                f"got {g.shape}")
+        pe = self.pad_elems
+        img = np.zeros((self.n_rows, self.row_elems), dtype=self.bits_dtype)
+        # interior columns (and top/bottom boundary rows) land after the pad
+        img[:, pe:pe + self.nx] = g[:, 1:-1]
+        # boundary-condition values sit in the innermost pad element
+        img[:, pe - 1] = g[:, 0]
+        img[:, pe + self.nx] = g[:, -1]
+        return img
+
+    def unpack(self, img: np.ndarray) -> np.ndarray:
+        """Extract the full halo grid back out of a padded image."""
+        img = np.asarray(img, dtype=self.bits_dtype).reshape(
+            self.n_rows, self.row_elems)
+        pe = self.pad_elems
+        g = np.zeros((self.ny + 2, self.nx + 2), dtype=self.bits_dtype)
+        g[:, 1:-1] = img[:, pe:pe + self.nx]
+        g[:, 0] = img[:, pe - 1]
+        g[:, -1] = img[:, pe + self.nx]
+        return g
+
+    # -- addressing (byte offsets into the DRAM buffer) -----------------------
+    def row_offset(self, halo_row: int) -> int:
+        """Byte offset of padded row ``halo_row`` (0 = top boundary row)."""
+        if not 0 <= halo_row < self.n_rows:
+            raise IndexError(f"row {halo_row} outside [0,{self.n_rows})")
+        return halo_row * self.row_bytes
+
+    def elem_offset(self, halo_row: int, interior_x: int) -> int:
+        """Byte offset of interior element ``interior_x`` in ``halo_row``."""
+        if not 0 <= interior_x < self.nx:
+            raise IndexError(f"x {interior_x} outside [0,{self.nx})")
+        return self.row_offset(halo_row) \
+            + (self.pad_elems + interior_x) * self.elem_bytes
+
+    def stencil_row_offset(self, halo_row: int, interior_x: int) -> int:
+        """Byte offset of the x−1 halo element (read start for a chunk)."""
+        return self.elem_offset(halo_row, interior_x) - self.elem_bytes
+
+    def render(self, max_cols: int = 8) -> str:
+        """Text rendering of the padded layout (regenerates Fig. 5)."""
+        n = min(self.nx, max_cols)
+        pad = "p" * 3 + "B"
+        row = f"|{pad}|" + "." * n + ("…" if self.nx > n else "") + f"|B{'p' * 3}|"
+        return "\n".join([
+            f"AlignedDomain: {self.ny}x{self.nx} interior, "
+            f"row stride {self.row_bytes} B (interior starts at byte 32)",
+            row, row, " ...",
+            "p = empty 256-bit pad element, B = boundary condition, "
+            ". = interior cell",
+        ])

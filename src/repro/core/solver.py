@@ -1,0 +1,205 @@
+"""The public solver facade: one entry point for every configuration.
+
+:class:`JacobiSolver` routes a :class:`~repro.core.grid.LaplaceProblem`
+to the right execution engine:
+
+=============== ==================================== =========================
+backend          functional answer                    timing / energy
+=============== ==================================== =========================
+``cpu``          NumPy FP32 sweep                     calibrated Xeon model
+``e150``         discrete-event simulation (bytes     emergent from the DES
+                 through DRAM/NoC/CB/FPU)
+``e150-model``   vectorised BF16 block execution      Tier-2 scaling model
+=============== ==================================== =========================
+
+``backend="auto"`` picks the DES for small core counts and the scaling
+model beyond (per-request simulation of 108 cores is possible but
+pointless).  Results carry the answer, wall time, GPt/s and Joules so the
+experiment drivers can print the paper's tables directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.device import GrayskullDevice
+from repro.core.grid import LaplaceProblem
+from repro.core.jacobi_initial import InitialConfig, InitialJacobiRunner
+from repro.core.jacobi_optimized import OptimizedConfig, OptimizedJacobiRunner
+from repro.core.multicore import run_multicard_functional, run_multicore_functional
+from repro.cpu.openmp import CpuJacobiRunner
+from repro.dtypes.bf16 import bits_to_f32
+from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+from repro.perfmodel.scaling import JacobiScalingModel
+
+__all__ = ["JacobiSolver", "JacobiResult"]
+
+#: DES is used up to this many cores under ``backend="auto"``.
+_DES_CORE_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class JacobiResult:
+    """Uniform result: answer + performance, whatever the engine."""
+
+    grid_f32: Optional[np.ndarray]   #: final halo grid as float32 (None if not computed)
+    backend: str
+    variant: str
+    cores: tuple[int, int]
+    n_cards: int
+    iterations: int
+    time_s: float
+    gpts: float                      #: billion points per second
+    energy_j: float
+
+    @property
+    def interior(self) -> np.ndarray:
+        if self.grid_f32 is None:
+            raise ValueError("this run did not produce a functional answer")
+        return self.grid_f32[1:-1, 1:-1]
+
+
+class JacobiSolver:
+    """Solve Laplace's equation the way the paper does, on your choice of
+    engine.
+
+    Examples
+    --------
+    >>> from repro.core import JacobiSolver, LaplaceProblem
+    >>> problem = LaplaceProblem(nx=64, ny=64)
+    >>> result = JacobiSolver(backend="e150").solve(problem, iterations=20)
+    >>> result.gpts > 0
+    True
+    """
+
+    VARIANTS = ("initial", "write_opt", "double_buffered", "optimized",
+                "sram")
+
+    def __init__(self, backend: str = "auto", variant: str = "optimized",
+                 cores: tuple[int, int] = (1, 1), n_cards: int = 1,
+                 n_threads: int = 1,
+                 costs: CostModel = DEFAULT_COSTS):
+        if variant not in self.VARIANTS:
+            raise ValueError(f"variant must be one of {self.VARIANTS}")
+        if backend not in ("auto", "cpu", "e150", "e150-model"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if n_cards > 1 and variant != "optimized":
+            raise ValueError("multi-card runs require the optimised variant")
+        if variant == "sram" and cores[1] != 1:
+            raise ValueError("the SRAM-resident variant decomposes in Y "
+                             "only (cores=(cy, 1))")
+        if variant not in ("optimized", "sram") and cores != (1, 1):
+            raise ValueError("the Section-IV variants run on a single core")
+        self.backend = backend
+        self.variant = variant
+        self.cores = cores
+        self.n_cards = n_cards
+        self.n_threads = n_threads
+        self.costs = costs
+
+    # -- routing -----------------------------------------------------------
+    def _effective_backend(self) -> str:
+        if self.backend != "auto":
+            return self.backend
+        if self.variant == "sram":
+            return "e150"  # SRAM residence only exists as real kernels
+        n = self.cores[0] * self.cores[1]
+        if self.n_cards > 1 or n > _DES_CORE_LIMIT:
+            return "e150-model"
+        return "e150"
+
+    def solve(self, problem: LaplaceProblem, iterations: int, *,
+              sim_iterations: Optional[int] = None,
+              device: Optional[GrayskullDevice] = None,
+              compute_answer: bool = True) -> JacobiResult:
+        """Run ``iterations`` Jacobi sweeps.
+
+        ``sim_iterations`` (DES backends only) limits how many iterations
+        are simulated per-event; timing is extrapolated to ``iterations``
+        and no functional answer is read back unless all iterations ran.
+        ``compute_answer=False`` skips the functional sweep on modelled
+        backends (useful for huge Table-VIII configurations).
+        """
+        backend = self._effective_backend()
+        if backend == "cpu":
+            return self._solve_cpu(problem, iterations, compute_answer)
+        if backend == "e150":
+            return self._solve_des(problem, iterations, sim_iterations, device)
+        if self.variant == "sram":
+            raise ValueError(
+                "the SRAM-resident variant has no analytic model; use "
+                "backend='e150' (or 'auto')")
+        return self._solve_model(problem, iterations, compute_answer)
+
+    # -- engines ------------------------------------------------------------
+    def _solve_cpu(self, problem: LaplaceProblem, iterations: int,
+                   compute_answer: bool) -> JacobiResult:
+        from repro.perfmodel.cpumodel import XeonModel
+        if compute_answer:
+            res = CpuJacobiRunner().run(problem.initial_grid_f32(),
+                                        iterations, n_threads=self.n_threads)
+            grid, time_s = res.grid, res.time_s
+            gpts, energy = res.gpts, res.energy_j
+        else:
+            # timing/energy only (huge Table-VIII style sweeps)
+            model = XeonModel()
+            points = problem.nx * problem.ny
+            grid = None
+            time_s = model.solve_time_s(points, iterations, self.n_threads)
+            gpts = points * iterations / time_s / 1e9
+            energy = model.energy_j(points, iterations, self.n_threads)
+        return JacobiResult(
+            grid_f32=grid, backend="cpu", variant="listing1-fp32",
+            cores=(1, self.n_threads), n_cards=0, iterations=iterations,
+            time_s=time_s, gpts=gpts, energy_j=energy)
+
+    def _solve_des(self, problem: LaplaceProblem, iterations: int,
+                   sim_iterations: Optional[int],
+                   device: Optional[GrayskullDevice]) -> JacobiResult:
+        dev = device or GrayskullDevice(self.costs)
+        if self.variant == "sram":
+            from repro.core.jacobi_sram import SramJacobiRunner
+            runner = SramJacobiRunner(dev, problem, cores_y=self.cores[0])
+        elif self.variant == "optimized":
+            runner = OptimizedJacobiRunner(
+                dev, problem, OptimizedConfig(),
+                cores_y=self.cores[0], cores_x=self.cores[1])
+        else:
+            cfg = {"initial": InitialConfig.initial,
+                   "write_opt": InitialConfig.write_optimised,
+                   "double_buffered": InitialConfig.double_buffered_cfg,
+                   }[self.variant]()
+            runner = InitialJacobiRunner(dev, problem, cfg)
+        res = runner.run(iterations, sim_iterations=sim_iterations)
+        grid = bits_to_f32(res.grid_bits) if res.grid_bits is not None else None
+        return JacobiResult(
+            grid_f32=grid, backend="e150", variant=self.variant,
+            cores=self.cores, n_cards=1, iterations=iterations,
+            time_s=res.total_time_s,
+            gpts=res.gpts,
+            energy_j=res.energy_j)
+
+    def _solve_model(self, problem: LaplaceProblem, iterations: int,
+                     compute_answer: bool) -> JacobiResult:
+        model = JacobiScalingModel(self.costs)
+        cy, cx = self.cores
+        if self.n_cards > 1:
+            perf = model.run_cards(problem.nx, problem.ny, iterations,
+                                   cy, cx, self.n_cards)
+        else:
+            perf = model.run(problem.nx, problem.ny, iterations, cy, cx)
+        grid = None
+        if compute_answer:
+            bits = problem.initial_grid_bf16()
+            if self.n_cards > 1:
+                bits = run_multicard_functional(bits, iterations, self.n_cards)
+            else:
+                bits = run_multicore_functional(bits, iterations, cy, cx)
+            grid = bits_to_f32(bits)
+        return JacobiResult(
+            grid_f32=grid, backend="e150-model", variant=self.variant,
+            cores=self.cores, n_cards=self.n_cards, iterations=iterations,
+            time_s=perf.solve_time_s, gpts=perf.gpts, energy_j=perf.energy_j)

@@ -1,0 +1,29 @@
+"""CPU baseline: the reference Jacobi solvers and the Xeon model.
+
+* :mod:`repro.cpu.jacobi` — functional solvers: the paper's Listing-1
+  algorithm in FP32 (the CPU baseline), a BF16 variant that mirrors the
+  Grayskull FPU's operation order and rounding exactly (the bit-exact
+  oracle for the simulated kernels), and a direct sparse solve of the
+  discrete Laplace system (the convergence oracle).
+* :mod:`repro.cpu.openmp` — the OpenMP-style multicore execution model
+  backed by the calibrated :class:`repro.perfmodel.cpumodel.XeonModel`.
+"""
+
+from repro.cpu.jacobi import (
+    jacobi_solve_bf16,
+    jacobi_solve_f32,
+    jacobi_step_bf16,
+    jacobi_step_f32,
+    solve_direct,
+)
+from repro.cpu.openmp import CpuJacobiRunner, CpuRunResult
+
+__all__ = [
+    "CpuJacobiRunner",
+    "CpuRunResult",
+    "jacobi_solve_bf16",
+    "jacobi_solve_f32",
+    "jacobi_step_bf16",
+    "jacobi_step_f32",
+    "solve_direct",
+]

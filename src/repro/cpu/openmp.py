@@ -1,0 +1,96 @@
+"""OpenMP-style CPU execution: functional decomposition + Xeon timing.
+
+The paper's CPU baseline multi-threads the Listing-1 loop with OpenMP.
+Functionally, Jacobi over a row-decomposed domain with a barrier per sweep
+is identical to the global sweep (each thread reads only the previous
+iterate), and :class:`CpuJacobiRunner` exploits that: the answer comes
+from the vectorised solver while a row decomposition is checked for
+consistency, and timing/energy come from the calibrated
+:class:`~repro.perfmodel.cpumodel.XeonModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cpu.jacobi import jacobi_step_f32
+from repro.perfmodel.cpumodel import XeonModel
+
+__all__ = ["CpuRunResult", "CpuJacobiRunner", "decompose_rows"]
+
+
+def decompose_rows(ny: int, n_threads: int) -> List[tuple[int, int]]:
+    """OpenMP static schedule: split ``ny`` interior rows into chunks.
+
+    Returns ``[(row_start, row_count), ...]`` (interior indexing); chunk
+    sizes differ by at most one.
+    """
+    if n_threads <= 0 or ny <= 0:
+        raise ValueError("ny and n_threads must be positive")
+    base, extra = divmod(ny, n_threads)
+    chunks = []
+    start = 0
+    for t in range(n_threads):
+        count = base + (1 if t < extra else 0)
+        if count:
+            chunks.append((start, count))
+        start += count
+    return chunks
+
+
+@dataclass(frozen=True)
+class CpuRunResult:
+    """Outcome of a modelled CPU Jacobi run."""
+
+    grid: np.ndarray          #: final halo grid (float32)
+    n_threads: int
+    time_s: float
+    gpts: float
+    energy_j: float
+    power_w: float
+
+
+class CpuJacobiRunner:
+    """Functional + modelled execution of the paper's CPU baseline."""
+
+    def __init__(self, model: Optional[XeonModel] = None):
+        self.model = model or XeonModel()
+
+    def step_threaded(self, u: np.ndarray, n_threads: int) -> np.ndarray:
+        """One sweep computed chunk-by-chunk (OpenMP static schedule).
+
+        Bit-identical to :func:`jacobi_step_f32`; exists so tests can
+        verify the decomposition really is equivalent.
+        """
+        u = np.asarray(u, dtype=np.float32)
+        unew = u.copy()
+        ny = u.shape[0] - 2
+        for start, count in decompose_rows(ny, n_threads):
+            lo, hi = start + 1, start + count + 1
+            unew[lo:hi, 1:-1] = np.float32(0.25) * (
+                u[lo:hi, :-2] + u[lo:hi, 2:] + u[lo - 1:hi - 1, 1:-1]
+                + u[lo + 1:hi + 1, 1:-1])
+        return unew
+
+    def run(self, u0: np.ndarray, iterations: int,
+            n_threads: int = 1) -> CpuRunResult:
+        """Solve functionally and attach modelled time/energy."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        u = np.asarray(u0, dtype=np.float32).copy()
+        for _ in range(iterations):
+            u = jacobi_step_f32(u)
+        ny, nx = u.shape[0] - 2, u.shape[1] - 2
+        points = nx * ny
+        time_s = self.model.solve_time_s(points, iterations, n_threads)
+        return CpuRunResult(
+            grid=u,
+            n_threads=n_threads,
+            time_s=time_s,
+            gpts=points * iterations / time_s / 1e9,
+            energy_j=self.model.energy_j(points, iterations, n_threads),
+            power_w=self.model.power_w(n_threads),
+        )

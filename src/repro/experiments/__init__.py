@@ -1,0 +1,12 @@
+"""Experiment drivers: one per table/figure of the paper.
+
+Each ``tableN`` module exposes ``run(...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` that carries the
+rendered paper-style table plus (measured, paper) pairs per row for the
+EXPERIMENTS.md fidelity log.  ``figures`` regenerates the paper's
+illustrations as text renderings computed from live simulator objects.
+"""
+
+from repro.experiments.common import ExperimentResult, RowComparison
+
+__all__ = ["ExperimentResult", "RowComparison"]

@@ -1,0 +1,55 @@
+"""Shared result container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.report import Table
+
+__all__ = ["RowComparison", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class RowComparison:
+    """One comparable quantity: what the paper reports vs what we measure."""
+
+    label: str
+    measured: float
+    paper: Optional[float]       #: None when the paper has no number (figures)
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure plus its fidelity record."""
+
+    experiment_id: str            #: e.g. "table3"
+    title: str
+    table: Table
+    comparisons: List[RowComparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = [self.table.render()]
+        if self.notes:
+            out.append("")
+            out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)
+
+    def worst_ratio(self) -> Optional[float]:
+        """The row furthest from the paper (max of ratio, 1/ratio)."""
+        worst = None
+        for c in self.comparisons:
+            r = c.ratio
+            if r is None or r <= 0:
+                continue
+            dev = max(r, 1.0 / r)
+            worst = dev if worst is None else max(worst, dev)
+        return worst

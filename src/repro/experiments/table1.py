@@ -1,0 +1,77 @@
+"""Table I — initial Tensix kernel generations vs one CPU core.
+
+512×512 BF16 elements, 10000 iterations; GPt/s for the CPU single core
+and the three Section-IV variants.
+"""
+
+from __future__ import annotations
+
+from repro.core.grid import LaplaceProblem
+from repro.core.solver import JacobiSolver
+from repro.analysis.report import Table
+from repro.experiments.common import ExperimentResult, RowComparison
+from repro.experiments.reference import TABLE1_GPTS, TABLE1_PROBLEM
+
+__all__ = ["run"]
+
+_LABELS = {
+    "cpu_single_core": "CPU single core",
+    "initial": "Initial",
+    "write_opt": "Data write optimised",
+    "double_buffered": "Double buffering",
+}
+
+
+def run(nx: int = TABLE1_PROBLEM["nx"], ny: int = TABLE1_PROBLEM["ny"],
+        iterations: int = TABLE1_PROBLEM["iterations"],
+        sim_iterations: int = 2) -> ExperimentResult:
+    """Regenerate Table I.
+
+    ``sim_iterations`` bounds the per-event simulation; timings are
+    steady-state extrapolations to ``iterations`` exactly as described in
+    DESIGN.md.  Smaller ``nx``/``ny`` give a faster, shape-preserving run
+    (paper comparisons are only recorded at the paper's size).
+    """
+    problem = LaplaceProblem(nx=nx, ny=ny)
+    at_paper_size = (nx, ny, iterations) == tuple(TABLE1_PROBLEM.values())
+
+    table = Table(
+        "Table I: Jacobi on one Tensix core, "
+        f"{nx}x{ny} over {iterations} iterations",
+        ["Version", "GPt/s (measured)", "GPt/s (paper)", "ratio"])
+    comparisons = []
+
+    rows = [
+        ("cpu_single_core",
+         JacobiSolver(backend="cpu").solve(problem, iterations)),
+        ("initial",
+         JacobiSolver(backend="e150", variant="initial").solve(
+             problem, iterations, sim_iterations=sim_iterations)),
+        ("write_opt",
+         JacobiSolver(backend="e150", variant="write_opt").solve(
+             problem, iterations, sim_iterations=sim_iterations)),
+        ("double_buffered",
+         JacobiSolver(backend="e150", variant="double_buffered").solve(
+             problem, iterations, sim_iterations=sim_iterations)),
+    ]
+    for key, res in rows:
+        paper = TABLE1_GPTS[key] if at_paper_size else None
+        ratio = f"{res.gpts / paper:.2f}" if paper else "-"
+        table.add_row(_LABELS[key], f"{res.gpts:.4f}",
+                      f"{paper:.4f}" if paper else "-", ratio)
+        comparisons.append(RowComparison(_LABELS[key], res.gpts, paper,
+                                         unit="GPt/s"))
+
+    result = ExperimentResult("table1", table.title, table, comparisons)
+    result.notes.append(
+        "Grayskull timings are steady-state extrapolations from "
+        f"{sim_iterations} fully simulated iterations.")
+    if at_paper_size:
+        result.notes.append(
+            "Known deviation: the simulator does not reproduce the paper's "
+            "extra non-additive slowdown of the fully-enabled initial "
+            "build (its own Table II components sum to ~21 ms/iter vs the "
+            "~40 ms/iter Table I implies), so 'Initial' and 'Data write "
+            "optimised' land ~1.3-1.5x above the paper and very close "
+            "together.")
+    return result

@@ -1,0 +1,76 @@
+"""Tables III and IV — streaming batch-size sweeps.
+
+Table III accesses data contiguously row after row; Table IV proceeds
+downwards through Y so every request is non-contiguous.  Both sweep the
+request batch size from a full 16384-byte row down to 4 bytes, with and
+without a barrier after every request.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import Table, format_seconds
+from repro.experiments.common import ExperimentResult, RowComparison
+from repro.experiments.reference import (
+    STREAM_PROBLEM,
+    TABLE3_RUNTIME,
+    TABLE4_RUNTIME,
+)
+from repro.streaming import StreamConfig, sweep_batch_sizes
+from repro.streaming.sweep import PAPER_BATCH_SIZES
+
+__all__ = ["run_table3", "run_table4"]
+
+_COLS = ["Batch (bytes)", "req/row",
+         "read nosync", "(paper)", "read sync", "(paper)",
+         "write nosync", "(paper)", "write sync", "(paper)"]
+
+
+def _run(table_id: str, contiguous: bool, reference,
+         rows: int, row_elems: int,
+         batch_sizes: Optional[Sequence[int]]) -> ExperimentResult:
+    base = StreamConfig(rows=rows, row_elems=row_elems)
+    at_paper_size = (rows, row_elems) == (STREAM_PROBLEM["rows"],
+                                          STREAM_PROBLEM["row_elems"])
+    sizes = list(batch_sizes) if batch_sizes is not None else [
+        b for b in PAPER_BATCH_SIZES if base.row_bytes % b == 0
+        and b <= base.row_bytes]
+    swept = sweep_batch_sizes(base, sizes, contiguous=contiguous)
+
+    kind = "contiguous" if contiguous else "non-contiguous"
+    table = Table(
+        f"Table {'III' if table_id == 'table3' else 'IV'}: streaming, "
+        f"{kind} accesses, {rows}x{row_elems} 32-bit integers (runtimes s)",
+        _COLS)
+    comparisons = []
+    for r in swept:
+        paper = reference.get(r.batch_size) if at_paper_size else None
+        measured = (r.read_nosync_s, r.read_sync_s,
+                    r.write_nosync_s, r.write_sync_s)
+        cells = [str(r.batch_size), str(r.requests_per_row)]
+        for i, label in enumerate(("read nosync", "read sync",
+                                   "write nosync", "write sync")):
+            cells.append(format_seconds(measured[i]))
+            cells.append(format_seconds(paper[i]) if paper else "-")
+            comparisons.append(RowComparison(
+                f"{r.batch_size}B {label}", measured[i],
+                paper[i] if paper else None, unit="s"))
+        table.add_row(*cells)
+    return ExperimentResult(table_id, table.title, table, comparisons)
+
+
+def run_table3(rows: int = STREAM_PROBLEM["rows"],
+               row_elems: int = STREAM_PROBLEM["row_elems"],
+               batch_sizes: Optional[Sequence[int]] = None
+               ) -> ExperimentResult:
+    """Regenerate Table III (contiguous streaming)."""
+    return _run("table3", True, TABLE3_RUNTIME, rows, row_elems, batch_sizes)
+
+
+def run_table4(rows: int = STREAM_PROBLEM["rows"],
+               row_elems: int = STREAM_PROBLEM["row_elems"],
+               batch_sizes: Optional[Sequence[int]] = None
+               ) -> ExperimentResult:
+    """Regenerate Table IV (non-contiguous streaming)."""
+    return _run("table4", False, TABLE4_RUNTIME, rows, row_elems, batch_sizes)

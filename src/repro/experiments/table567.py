@@ -1,0 +1,122 @@
+"""Tables V, VI, VII — replication, interleaving, multi-core streaming."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import Table, format_seconds
+from repro.experiments.common import ExperimentResult, RowComparison
+from repro.experiments.reference import (
+    STREAM_PROBLEM,
+    TABLE5_RUNTIME,
+    TABLE6_RUNTIME,
+    TABLE7_RUNTIME,
+)
+from repro.streaming import (
+    StreamConfig,
+    sweep_multicore,
+    sweep_page_sizes,
+    sweep_replication,
+)
+
+__all__ = ["run_table5", "run_table6", "run_table7"]
+
+
+def _page_label(page: Optional[int]) -> str:
+    return "none" if page is None else f"{page >> 10}K"
+
+
+def _base(rows: int, row_elems: int) -> tuple[StreamConfig, bool]:
+    base = StreamConfig(rows=rows, row_elems=row_elems)
+    at_paper = (rows, row_elems) == (STREAM_PROBLEM["rows"],
+                                     STREAM_PROBLEM["row_elems"])
+    return base, at_paper
+
+
+def run_table5(rows: int = STREAM_PROBLEM["rows"],
+               row_elems: int = STREAM_PROBLEM["row_elems"],
+               factors: Sequence[int] = (1, 2, 4, 8, 16, 32)
+               ) -> ExperimentResult:
+    """Regenerate Table V: replicated row reads."""
+    base, at_paper = _base(rows, row_elems)
+    table = Table(
+        f"Table V: replicated reads, {rows}x{row_elems} int32 (runtime s)",
+        ["Replication factor", "measured", "paper", "ratio"])
+    comparisons = []
+    for f, runtime in sweep_replication(base, factors):
+        paper = TABLE5_RUNTIME.get(f) if at_paper else None
+        table.add_row(f, format_seconds(runtime),
+                      format_seconds(paper) if paper else "-",
+                      f"{runtime / paper:.2f}" if paper else "-")
+        comparisons.append(RowComparison(f"replication x{f}", runtime,
+                                         paper, unit="s"))
+    return ExperimentResult("table5", table.title, table, comparisons)
+
+
+def run_table6(rows: int = STREAM_PROBLEM["rows"],
+               row_elems: int = STREAM_PROBLEM["row_elems"],
+               page_sizes: Optional[Sequence[Optional[int]]] = None,
+               replications: Sequence[int] = (0, 8, 16, 32)
+               ) -> ExperimentResult:
+    """Regenerate Table VI: interleaving page size × replication."""
+    base, at_paper = _base(rows, row_elems)
+    cols = ["Page size"] + [f"repl {r}" for r in replications] + \
+           [f"(paper {r})" for r in replications]
+    table = Table(
+        f"Table VI: page size vs replication, {rows}x{row_elems} int32 "
+        "(runtime s)", cols)
+    comparisons = []
+    for page, runtimes in sweep_page_sizes(base, page_sizes, replications):
+        paper = TABLE6_RUNTIME.get(page) if at_paper else None
+        cells = [_page_label(page)]
+        cells += [format_seconds(t) for t in runtimes]
+        cells += [format_seconds(p) for p in paper] if paper \
+            else ["-"] * len(replications)
+        table.add_row(*cells)
+        for i, repl in enumerate(replications):
+            comparisons.append(RowComparison(
+                f"page {_page_label(page)} repl {repl}", runtimes[i],
+                paper[i] if paper else None, unit="s"))
+    result = ExperimentResult("table6", table.title, table, comparisons)
+    result.notes.append(
+        "Key shape: interleaving is free at replication 0 and roughly "
+        "halves runtime under heavy replication at 16-32K pages; small "
+        "pages add per-page overhead.")
+    return result
+
+
+def run_table7(rows: int = STREAM_PROBLEM["rows"],
+               row_elems: int = STREAM_PROBLEM["row_elems"],
+               page_sizes: Optional[Sequence[Optional[int]]] = None,
+               core_counts: Sequence[int] = (1, 2, 4, 8)
+               ) -> ExperimentResult:
+    """Regenerate Table VII: streaming scaled across Tensix cores."""
+    base, at_paper = _base(rows, row_elems)
+    cols = ["Page size"] + [f"{n} cores" for n in core_counts] + \
+           [f"(paper {n})" for n in core_counts]
+    table = Table(
+        f"Table VII: page size vs cores, {rows}x{row_elems} int32 "
+        "(runtime s)", cols)
+    comparisons = []
+    for page, runtimes in sweep_multicore(base, page_sizes, core_counts):
+        paper = TABLE7_RUNTIME.get(page) if at_paper else None
+        cells = [_page_label(page)]
+        cells += [format_seconds(t) for t in runtimes]
+        cells += [format_seconds(p) for p in paper] if paper \
+            else ["-"] * len(core_counts)
+        table.add_row(*cells)
+        for i, n in enumerate(core_counts):
+            comparisons.append(RowComparison(
+                f"page {_page_label(page)} cores {n}", runtimes[i],
+                paper[i] if paper else None, unit="s"))
+    result = ExperimentResult("table7", table.title, table, comparisons)
+    result.notes.append(
+        "Key shape: the single-bank stream stops scaling beyond 2 cores — "
+        "the shared bank saturates, as the paper observes.")
+    result.notes.append(
+        "Known deviation: our interleaved streams keep scaling with cores "
+        "(8 banks really do provide the bandwidth) while the paper's stay "
+        "flat; the authors attribute their flatness only loosely to 'NoC "
+        "and/or DDR bandwidth', and Table VIII's 88 GB/s aggregate is "
+        "inconsistent with any hard ~25 GB/s device-wide cap.")
+    return result

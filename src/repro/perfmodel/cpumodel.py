@@ -1,0 +1,79 @@
+"""Xeon Platinum 8260M (Cascade Lake) performance & energy model.
+
+The paper's CPU baseline runs FP32 with OpenMP on a 24-core 8260M and
+reports 1.41 GPt/s on one core and 21.61 GPt/s on 24 cores (Table VIII),
+with RAPL energies of 1657 J (1 core) and 588 J (24 cores) for the
+1024×9216 × 5000-iteration problem.
+
+Calibration:
+
+* single-core throughput is taken directly: ``core_gpts = 1.41e9``;
+* multi-core scaling uses a saturating roofline
+  ``perf(n) = a·n / (1 + n/k)`` fitted through the two measured points
+  (n=1 → 1.41, n=24 → 21.61), giving k ≈ 39.65 and a ≈ 1.4456 GPt/s —
+  i.e. memory bandwidth limits parallel efficiency to ~64 % at 24 cores;
+* package power from the two RAPL numbers:
+  1657 J / (4.7e10 pt / 1.41 GPt/s = 33.3 s) ≈ 49.7 W at one core,
+  588 J / (4.7e10 pt / 21.61 GPt/s = 2.17 s) ≈ 270 W at 24 cores,
+  ⇒ base ≈ 40.1 W + 9.6 W per active core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["XeonModel"]
+
+
+def _fit_saturating(n1: float, p1: float, n2: float, p2: float) -> tuple[float, float]:
+    """Solve perf(n) = a*n/(1+n/k) through (n1,p1) and (n2,p2)."""
+    # p = a n k / (k + n)  =>  a = p (k + n) / (n k).  Equate for both points:
+    # p1 (k + n1) / n1 = p2 (k + n2) / n2
+    # k (p1/n1 - p2/n2) = p2 - p1
+    k = (p2 - p1) / (p1 / n1 - p2 / n2)
+    a = p1 * (k + n1) / (n1 * k)
+    return a, k
+
+
+@dataclass(frozen=True)
+class XeonModel:
+    """Calibrated performance/energy model of the paper's CPU baseline."""
+
+    n_cores: int = 24
+    core_gpts: float = 1.41e9        #: measured single-core GPt/s (FP32)
+    cores24_gpts: float = 21.61e9    #: measured 24-core GPt/s
+    power_base_w: float = 40.1       #: package power at zero active cores
+    power_per_core_w: float = 9.58   #: increment per active core
+
+    def throughput_pts(self, active_cores: int) -> float:
+        """Modelled Jacobi throughput in points/second for ``active_cores``."""
+        if not 1 <= active_cores <= self.n_cores:
+            raise ValueError(
+                f"active_cores must be in [1,{self.n_cores}], got {active_cores}")
+        if active_cores == 1:
+            return self.core_gpts
+        if active_cores == self.n_cores:
+            return self.cores24_gpts
+        a, k = _fit_saturating(1.0, self.core_gpts, float(self.n_cores),
+                               self.cores24_gpts)
+        n = float(active_cores)
+        return a * n / (1.0 + n / k)
+
+    def power_w(self, active_cores: int) -> float:
+        """RAPL-style package power for ``active_cores`` busy cores."""
+        if not 0 <= active_cores <= self.n_cores:
+            raise ValueError("active_cores out of range")
+        return self.power_base_w + self.power_per_core_w * active_cores
+
+    def solve_time_s(self, n_points: int, n_iterations: int,
+                     active_cores: int) -> float:
+        """Wall time to run ``n_iterations`` Jacobi sweeps of ``n_points``."""
+        if n_points <= 0 or n_iterations <= 0:
+            raise ValueError("points and iterations must be positive")
+        return n_points * n_iterations / self.throughput_pts(active_cores)
+
+    def energy_j(self, n_points: int, n_iterations: int,
+                 active_cores: int) -> float:
+        """RAPL-style package energy for the run."""
+        return (self.solve_time_s(n_points, n_iterations, active_cores)
+                * self.power_w(active_cores))

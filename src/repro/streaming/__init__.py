@@ -1,0 +1,26 @@
+"""The Section-V streaming benchmark.
+
+Loads integers from DRAM as fast as possible on one data-mover core,
+passes them through a circular buffer to the other data mover, which
+writes them back to DRAM.  Sweeping request batch size, synchronisation
+discipline, access order, read replication, interleaving page size and
+core count reproduces Tables III–VII.
+"""
+
+from repro.streaming.kernels import StreamConfig, StreamResult, run_streaming
+from repro.streaming.sweep import (
+    sweep_batch_sizes,
+    sweep_multicore,
+    sweep_page_sizes,
+    sweep_replication,
+)
+
+__all__ = [
+    "StreamConfig",
+    "StreamResult",
+    "run_streaming",
+    "sweep_batch_sizes",
+    "sweep_multicore",
+    "sweep_page_sizes",
+    "sweep_replication",
+]

@@ -1,0 +1,267 @@
+"""Streaming kernels: DRAM → CB → DRAM as fast as possible.
+
+One reader data mover fills CB pages with bursts of ``read_batch``-byte
+requests; the writer drains them with ``write_batch``-byte requests to
+the destination buffer at the same logical offsets, so the benchmark is
+also a functional DRAM→DRAM copy (verified by tests at small scale).
+
+Access order:
+
+* ``contiguous`` — row after row, so consecutive requests extend each
+  other (Table III);
+* non-contiguous — batch columns are traversed *downwards through Y*
+  (the paper's wording), so every consecutive request jumps by the row
+  stride (Table IV).
+
+``replication`` re-reads the ``n`` previous rows alongside every row read
+(Table V); re-reads are flagged as row-buffer replays.  ``page_size``
+interleaves the buffers across the 8 banks (Table VI).  ``n_cores`` splits
+the rows across cores that share the same two buffers (Table VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.device import GrayskullDevice
+from repro.arch.tensix import DATA_MOVER_0, DATA_MOVER_1
+from repro.core.decomposition import split_extent
+from repro.ttmetal import (
+    CreateCircularBuffer,
+    CreateKernel,
+    EnqueueProgram,
+    EnqueueWriteBuffer,
+    Finish,
+    Program,
+    create_buffer,
+)
+
+__all__ = ["StreamConfig", "StreamResult", "run_streaming"]
+
+CB_STREAM = 0
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """One streaming experiment (defaults: the paper's problem)."""
+
+    rows: int = 4096
+    row_elems: int = 4096
+    elem_bytes: int = 4
+    read_batch: Optional[int] = None   #: bytes per read request (None = full row)
+    write_batch: Optional[int] = None  #: bytes per write request (None = full row)
+    sync_read: bool = False          #: barrier after every read request
+    sync_write: bool = False         #: barrier after every write request
+    contiguous: bool = True
+    replication: int = 0             #: re-read the n previous rows per row
+    page_size: Optional[int] = None  #: interleave page; None = single bank
+    n_cores: int = 1
+    verify: bool = False             #: functionally check dst == src
+
+    @property
+    def row_bytes(self) -> int:
+        return self.row_elems * self.elem_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    def __post_init__(self):
+        if self.read_batch is None:
+            object.__setattr__(self, "read_batch", self.row_bytes)
+        if self.write_batch is None:
+            object.__setattr__(self, "write_batch", self.row_bytes)
+        if self.read_batch <= 0 or self.write_batch <= 0:
+            raise ValueError("batch sizes must be positive")
+        if self.row_bytes % self.read_batch or self.row_bytes % self.write_batch:
+            raise ValueError("batch sizes must divide the row size")
+        if self.replication < 0:
+            raise ValueError("replication must be non-negative")
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Runtime and traffic of one streaming run."""
+
+    config: StreamConfig
+    runtime_s: float
+    read_requests: int
+    write_requests: int
+    bytes_read: int
+    bytes_written: int
+    verified: Optional[bool]
+
+    @property
+    def read_bw(self) -> float:
+        return self.bytes_read / self.runtime_s
+
+    @property
+    def write_bw(self) -> float:
+        return self.bytes_written / self.runtime_s
+
+
+@dataclass(frozen=True)
+class _Group:
+    """One CB page worth of uniform requests: n × batch every stride."""
+
+    start: int
+    n: int
+    batch: int
+    stride: int
+
+    def ranges(self) -> List[tuple[int, int]]:
+        return [(self.start + i * self.stride, self.batch)
+                for i in range(self.n)]
+
+
+def _row_groups(cfg: StreamConfig, row_lo: int, row_hi: int,
+                batch: int) -> List[_Group]:
+    """Request groups (one CB page each) in the configured access order."""
+    groups: List[_Group] = []
+    per_row = cfg.row_bytes // batch
+    if cfg.contiguous:
+        for r in range(row_lo, row_hi):
+            groups.append(_Group(r * cfg.row_bytes, per_row, batch, batch))
+    else:
+        # Proceed downwards through Y: batch column j over all rows, one
+        # page worth of column entries per group.
+        per_group = max(1, cfg.row_bytes // batch)
+        rows = row_hi - row_lo
+        for j in range(per_row):
+            for k in range(0, rows, per_group):
+                n = min(per_group, rows - k)
+                start = (row_lo + k) * cfg.row_bytes + j * batch
+                groups.append(_Group(start, n, batch, cfg.row_bytes))
+    return groups
+
+
+def _burst_read(ctx, buf, group: _Group, ptr: int, page: int, *,
+                sync: bool, replay: bool = False):
+    """Dispatch a group read via the fast uniform path when possible."""
+    if not buf.interleaved:
+        yield from ctx.noc_read_buffer_burst_uniform(
+            buf, group.start, group.n, group.batch, group.stride, ptr,
+            sync=sync, replay=replay, window=page)
+    else:
+        yield from ctx.noc_read_buffer_burst(
+            buf, group.ranges(), ptr, sync=sync, replay=replay, window=page)
+
+
+def _burst_write(ctx, buf, group: _Group, ptr: int, page: int, *,
+                 sync: bool):
+    if not buf.interleaved:
+        yield from ctx.noc_write_buffer_burst_uniform(
+            buf, group.start, group.n, group.batch, group.stride, ptr,
+            sync=sync, window=page)
+    else:
+        yield from ctx.noc_write_buffer_burst(
+            buf, group.ranges(), ptr, sync=sync, window=page)
+
+
+def _reader_kernel(ctx):
+    cfg: StreamConfig = ctx.arg("config")
+    src = ctx.arg("src")
+    row_lo, row_hi = ctx.arg("row_range")
+    page = ctx.arg("page_bytes")
+
+    for gi, group in enumerate(_row_groups(cfg, row_lo, row_hi,
+                                           cfg.read_batch)):
+        yield from ctx.cb_reserve_back(CB_STREAM, 1)
+        ptr = ctx.cb_write_ptr(CB_STREAM)
+        if cfg.replication and cfg.contiguous:
+            # Re-read the n previous rows alongside the actual row read
+            # (Table V): replicated fetches are row-buffer replays.
+            base_row = row_lo + gi
+            n_prev = min(cfg.replication, base_row)
+            if n_prev:
+                prev = _Group((base_row - n_prev) * cfg.row_bytes,
+                              n_prev, cfg.row_bytes, cfg.row_bytes)
+                yield from _burst_read(ctx, src, prev, ptr, page,
+                                       sync=False, replay=True)
+        yield from _burst_read(ctx, src, group, ptr, page,
+                               sync=cfg.sync_read)
+        yield from ctx.noc_async_read_barrier()
+        yield from ctx.cb_push_back(CB_STREAM, 1)
+
+
+def _writer_kernel(ctx):
+    cfg: StreamConfig = ctx.arg("config")
+    dst = ctx.arg("dst")
+    row_lo, row_hi = ctx.arg("row_range")
+    page = ctx.arg("page_bytes")
+
+    # The writer follows its *own* access plan (its batch size and order
+    # are swept independently of the reader's in Tables III/IV), consuming
+    # one CB page per reader group.  When both sides use the same batch
+    # size and order — the verified configuration — page k's content is
+    # exactly plan-group k, so the benchmark doubles as a DRAM→DRAM copy.
+    n_groups = len(_row_groups(cfg, row_lo, row_hi, cfg.read_batch))
+    plan = _row_groups(cfg, row_lo, row_hi, cfg.write_batch)
+    # Repartition the plan's groups so the writer drains exactly one CB
+    # page per reader group (group counts match whenever read/write batch
+    # sizes match, which is every configuration the sweeps verify).
+    base, extra = divmod(len(plan), n_groups)
+    pos = 0
+    for g in range(n_groups):
+        take = base + (1 if g < extra else 0)
+        yield from ctx.cb_wait_front(CB_STREAM, 1)
+        ptr = ctx.cb_read_ptr(CB_STREAM)
+        for grp in plan[pos:pos + take]:
+            yield from _burst_write(ctx, dst, grp, ptr, page,
+                                    sync=cfg.sync_write)
+        if take:
+            yield from ctx.noc_async_write_barrier()
+        pos += take
+        yield from ctx.cb_pop_front(CB_STREAM, 1)
+
+
+def run_streaming(cfg: StreamConfig,
+                  device: Optional[GrayskullDevice] = None) -> StreamResult:
+    """Execute one streaming experiment on a (fresh by default) device."""
+    dev = device or GrayskullDevice()
+    mk = dict(interleaved=True, page_size=cfg.page_size) \
+        if cfg.page_size else dict(bank_id=0)
+    src = create_buffer(dev, cfg.total_bytes, **mk)
+    dst = create_buffer(dev, cfg.total_bytes, **mk)
+
+    rng = np.random.default_rng(42)
+    payload = None
+    if cfg.verify:
+        payload = rng.integers(0, 2**32, size=cfg.total_bytes // 4,
+                               dtype=np.uint32)
+        EnqueueWriteBuffer(dev, src, payload)
+
+    prog = Program(dev)
+    page = min(cfg.row_bytes, 16384)
+    shares = split_extent(cfg.rows, cfg.n_cores)
+    for i, (lo, count) in enumerate(shares):
+        core = dev.core(i % dev.grid_width, i // dev.grid_width)
+        CreateCircularBuffer(prog, core, CB_STREAM, page, 4)
+        args = dict(config=cfg, src=src, dst=dst,
+                    row_range=(lo, lo + count), page_bytes=page)
+        CreateKernel(prog, _reader_kernel, core, DATA_MOVER_0, args)
+        CreateKernel(prog, _writer_kernel, core, DATA_MOVER_1, args)
+
+    EnqueueProgram(dev, prog)
+    runtime = Finish(dev)
+
+    verified = None
+    if cfg.verify:
+        out = dst.read_host().view(np.uint32)
+        verified = bool(np.array_equal(out, payload))
+
+    n0, n1 = dev.noc0.stats, dev.noc1.stats
+    return StreamResult(
+        config=cfg,
+        runtime_s=runtime,
+        read_requests=n0.read_requests + n1.read_requests,
+        write_requests=n0.write_requests + n1.write_requests,
+        bytes_read=n0.read_bytes + n1.read_bytes,
+        bytes_written=n0.write_bytes + n1.write_bytes,
+        verified=verified,
+    )

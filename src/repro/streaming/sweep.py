@@ -1,0 +1,128 @@
+"""Sweep drivers that regenerate the rows of Tables III–VII.
+
+Each driver returns structured rows (batch size / page size / cores →
+runtime) ready for the report formatter.  Devices are created fresh per
+configuration so runs never share queue state.
+
+The problem size is parameterisable: the paper uses 4096×4096 32-bit
+integers; tests use smaller grids (runtimes scale linearly in rows, which
+``tests/streaming`` verifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.streaming.kernels import StreamConfig, StreamResult, run_streaming
+
+__all__ = [
+    "BatchSweepRow",
+    "sweep_batch_sizes",
+    "sweep_replication",
+    "sweep_page_sizes",
+    "sweep_multicore",
+    "PAPER_BATCH_SIZES",
+    "PAPER_PAGE_SIZES",
+]
+
+#: Table III/IV batch sizes (bytes), largest to smallest.
+PAPER_BATCH_SIZES = [16384, 8192, 4096, 2048, 1024, 512, 256, 128, 64, 32,
+                     16, 8, 4]
+#: Table VI/VII page sizes (None = single bank, i.e. the "none" row).
+PAPER_PAGE_SIZES: List[Optional[int]] = [
+    None, 64 << 10, 32 << 10, 16 << 10, 8 << 10, 4 << 10, 2 << 10, 1 << 10]
+
+
+@dataclass(frozen=True)
+class BatchSweepRow:
+    """One Table III/IV row: a batch size's four runtimes."""
+
+    batch_size: int
+    requests_per_row: int
+    read_nosync_s: float
+    read_sync_s: float
+    write_nosync_s: float
+    write_sync_s: float
+
+
+def sweep_batch_sizes(base: Optional[StreamConfig] = None,
+                      batch_sizes: Sequence[int] = PAPER_BATCH_SIZES,
+                      contiguous: bool = True) -> List[BatchSweepRow]:
+    """Tables III (contiguous) and IV (non-contiguous).
+
+    Exactly as the paper: when sweeping the read batch, writes stay at the
+    full-row batch, and vice versa; sync means a barrier after every
+    request on the swept side.
+    """
+    base = base or StreamConfig()
+    base = replace(base, contiguous=contiguous)
+    rows = []
+    for batch in batch_sizes:
+        if base.row_bytes % batch:
+            raise ValueError(f"batch {batch} does not divide the row size")
+        read_ns = run_streaming(replace(base, read_batch=batch))
+        read_s = run_streaming(replace(base, read_batch=batch,
+                                       sync_read=True))
+        write_ns = run_streaming(replace(base, write_batch=batch))
+        write_s = run_streaming(replace(base, write_batch=batch,
+                                        sync_write=True))
+        rows.append(BatchSweepRow(
+            batch_size=batch,
+            requests_per_row=base.row_bytes // batch,
+            read_nosync_s=read_ns.runtime_s,
+            read_sync_s=read_s.runtime_s,
+            write_nosync_s=write_ns.runtime_s,
+            write_sync_s=write_s.runtime_s,
+        ))
+    return rows
+
+
+def sweep_replication(base: Optional[StreamConfig] = None,
+                      factors: Sequence[int] = (1, 2, 4, 8, 16, 32)
+                      ) -> List[tuple[int, float]]:
+    """Table V: replicate every row read ``factor`` times in total."""
+    base = base or StreamConfig()
+    out = []
+    for f in factors:
+        if f < 1:
+            raise ValueError("replication factor counts total reads; >= 1")
+        res = run_streaming(replace(base, replication=f - 1))
+        out.append((f, res.runtime_s))
+    return out
+
+
+def sweep_page_sizes(base: Optional[StreamConfig] = None,
+                     page_sizes: Sequence[Optional[int]] = None,
+                     replications: Sequence[int] = (0, 8, 16, 32)
+                     ) -> List[tuple[Optional[int], List[float]]]:
+    """Table VI: interleaving page size × replication factor."""
+    base = base or StreamConfig()
+    pages = PAPER_PAGE_SIZES if page_sizes is None else list(page_sizes)
+    out = []
+    for page in pages:
+        runtimes = []
+        for repl in replications:
+            res = run_streaming(replace(base, page_size=page,
+                                        replication=repl))
+            runtimes.append(res.runtime_s)
+        out.append((page, runtimes))
+    return out
+
+
+def sweep_multicore(base: Optional[StreamConfig] = None,
+                    page_sizes: Sequence[Optional[int]] = None,
+                    core_counts: Sequence[int] = (1, 2, 4, 8)
+                    ) -> List[tuple[Optional[int], List[float]]]:
+    """Table VII: interleaving page size × number of Tensix cores."""
+    base = base or StreamConfig()
+    pages = (PAPER_PAGE_SIZES[:-1] if page_sizes is None
+             else list(page_sizes))  # the paper's Table VII stops at 2K
+    out = []
+    for page in pages:
+        runtimes = []
+        for n in core_counts:
+            res = run_streaming(replace(base, page_size=page, n_cores=n))
+            runtimes.append(res.runtime_s)
+        out.append((page, runtimes))
+    return out

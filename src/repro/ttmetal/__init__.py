@@ -1,0 +1,44 @@
+"""tt-metal-style SDK for the simulated Grayskull.
+
+This package mirrors the programming model the paper's kernels are written
+against:
+
+* :mod:`repro.ttmetal.buffers` — DRAM buffers: single-bank or interleaved
+  across the 8 banks with a configurable page size (Section V, Table VI).
+* :mod:`repro.ttmetal.kernel_api` — the device-side API surface
+  (``noc_async_read``, ``cb_wait_front``, ``add_tiles``, semaphores, and
+  the paper's ``cb_set_rd_ptr`` extension).  Kernels are Python generator
+  functions taking a context object.
+* :mod:`repro.ttmetal.host` — host-side program construction and enqueue
+  operations (``CreateKernel``, ``CreateCircularBuffer``,
+  ``EnqueueWriteBuffer``, ``EnqueueProgram``, ``Finish``).
+"""
+
+from repro.ttmetal.buffers import Buffer, BufferConfig, create_buffer
+from repro.ttmetal.host import (
+    CreateCircularBuffer,
+    CreateKernel,
+    CreateSemaphore,
+    EnqueueProgram,
+    EnqueueReadBuffer,
+    EnqueueWriteBuffer,
+    Finish,
+    Program,
+)
+from repro.ttmetal.kernel_api import ComputeCtx, DataMoverCtx
+
+__all__ = [
+    "Buffer",
+    "BufferConfig",
+    "ComputeCtx",
+    "CreateCircularBuffer",
+    "CreateKernel",
+    "CreateSemaphore",
+    "DataMoverCtx",
+    "EnqueueProgram",
+    "EnqueueReadBuffer",
+    "EnqueueWriteBuffer",
+    "Finish",
+    "Program",
+    "create_buffer",
+]

@@ -1,0 +1,202 @@
+"""Host-side API: build programs, move buffers, launch kernels.
+
+Mirrors the tt-metal host workflow the paper's host code uses::
+
+    program = Program(device)
+    cb_in = CreateCircularBuffer(program, core, CB_IN0, page_size=2048, n_pages=4)
+    CreateKernel(program, reader_kernel, core, DATA_MOVER_0, args={...})
+    CreateKernel(program, compute_kernel, core, COMPUTE, args={...})
+    EnqueueWriteBuffer(device, buf, host_data)
+    handle = EnqueueProgram(device, program)
+    Finish(device)
+    result = EnqueueReadBuffer(device, buf)
+
+``EnqueueProgram`` spawns one simulator process per kernel;
+``Finish`` drives the device's clock until all of them complete and
+returns the program's wall time.  Host↔DRAM transfers ride the PCIe
+server, so reported solve times can include transfer overhead exactly as
+the paper's measurements do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.arch.device import GrayskullDevice
+from repro.arch.tensix import COMPUTE, DATA_MOVER_0, DATA_MOVER_1, TensixCore
+from repro.sim import Process
+from repro.ttmetal.buffers import Buffer
+from repro.ttmetal.kernel_api import ComputeCtx, DataMoverCtx
+
+__all__ = [
+    "Program",
+    "ProgramHandle",
+    "CreateKernel",
+    "CreateCircularBuffer",
+    "CreateSemaphore",
+    "EnqueueWriteBuffer",
+    "EnqueueReadBuffer",
+    "EnqueueProgram",
+    "Finish",
+]
+
+KernelFn = Callable[..., object]  # generator function taking a ctx
+
+
+@dataclass
+class _KernelSpec:
+    fn: KernelFn
+    core: TensixCore
+    slot: str
+    args: Dict
+
+
+@dataclass
+class ProgramHandle:
+    """A launched program: its processes and start time."""
+
+    program: "Program"
+    processes: List[Process]
+    t_start: float
+    t_end: Optional[float] = None
+
+    @property
+    def duration_s(self) -> float:
+        if self.t_end is None:
+            raise RuntimeError("program not finished; call Finish(device)")
+        return self.t_end - self.t_start
+
+
+class Program:
+    """A set of kernels bound to cores, plus their CB/semaphore config."""
+
+    def __init__(self, device: GrayskullDevice):
+        self.device = device
+        self.kernels: List[_KernelSpec] = []
+
+    @property
+    def cores(self) -> List[TensixCore]:
+        seen = {}
+        for spec in self.kernels:
+            seen[spec.core.coord] = spec.core
+        return list(seen.values())
+
+
+def CreateKernel(program: Program, fn: KernelFn,
+                 core: Union[TensixCore, Sequence[TensixCore]],
+                 slot: str, args: Optional[Dict] = None) -> None:
+    """Bind a kernel generator function to one or more cores.
+
+    ``slot`` is one of ``DATA_MOVER_0`` / ``DATA_MOVER_1`` / ``COMPUTE``.
+    ``args`` become the kernel's runtime arguments (``ctx.arg(name)``);
+    pass a per-core dict by calling once per core.
+    """
+    if slot not in (DATA_MOVER_0, DATA_MOVER_1, COMPUTE):
+        raise ValueError(f"unknown kernel slot {slot!r}")
+    cores = [core] if isinstance(core, TensixCore) else list(core)
+    for c in cores:
+        if not c.is_worker:
+            raise ValueError(f"core {c.coord} is storage-only; kernels "
+                             "may only run on worker cores")
+        if any(s.core is c and s.slot == slot for s in program.kernels):
+            raise ValueError(f"core {c.coord} already has a {slot} kernel")
+        program.kernels.append(_KernelSpec(fn, c, slot, dict(args or {})))
+
+
+def CreateCircularBuffer(program: Program,
+                         core: Union[TensixCore, Sequence[TensixCore]],
+                         cb_id: int, page_size: int, n_pages: int,
+                         dtype: str = "bf16") -> None:
+    """Configure a circular buffer on one or more cores.
+
+    ``dtype``: "bf16" (Grayskull) or "fp32" (the Wormhole-precision mode
+    the paper's future work targets).
+    """
+    cores = [core] if isinstance(core, TensixCore) else list(core)
+    for c in cores:
+        c.create_cb(cb_id, page_size, n_pages, dtype=dtype)
+
+
+def CreateSemaphore(program: Program,
+                    core: Union[TensixCore, Sequence[TensixCore]],
+                    sem_id: int, initial: int = 0) -> None:
+    """Configure a semaphore on one or more cores."""
+    cores = [core] if isinstance(core, TensixCore) else list(core)
+    for c in cores:
+        c.create_semaphore(sem_id, initial)
+
+
+def EnqueueWriteBuffer(device: GrayskullDevice, buf: Buffer,
+                       data: np.ndarray, blocking: bool = True) -> float:
+    """Host → DRAM transfer over PCIe; returns the transfer time."""
+    payload = np.ascontiguousarray(data)
+    if payload.nbytes > buf.size:
+        raise ValueError(
+            f"payload of {payload.nbytes} B exceeds buffer of {buf.size} B")
+    buf.write_host(payload)
+    ev = device.pcie.submit(payload.nbytes)
+    t0 = device.sim.now
+    if blocking:
+        device.sim.run(until=ev)
+    return device.sim.now - t0
+
+
+def EnqueueReadBuffer(device: GrayskullDevice, buf: Buffer,
+                      offset: int = 0, size: Optional[int] = None,
+                      blocking: bool = True) -> np.ndarray:
+    """DRAM → host transfer over PCIe; returns the bytes."""
+    out = buf.read_host(offset, size)
+    ev = device.pcie.submit(out.nbytes)
+    if blocking:
+        device.sim.run(until=ev)
+    return out
+
+
+def _make_ctx(spec: _KernelSpec, device: GrayskullDevice):
+    args = dict(spec.args)
+    args.setdefault("_device", device)
+    if spec.slot == COMPUTE:
+        return ComputeCtx(spec.core, args)
+    return DataMoverCtx(spec.core, spec.slot, args)
+
+
+def EnqueueProgram(device: GrayskullDevice, program: Program) -> ProgramHandle:
+    """Launch every kernel of ``program`` as a simulator process."""
+    if not program.kernels:
+        raise ValueError("program has no kernels")
+    procs: List[Process] = []
+    for spec in program.kernels:
+        ctx = _make_ctx(spec, device)
+        gen = spec.fn(ctx)
+        name = (f"{getattr(spec.fn, '__name__', 'kernel')}@"
+                f"{spec.core.coord}/{spec.slot}")
+        procs.append(device.sim.process(gen, name=name))
+    device.energy.set_active_cores(len(program.cores))
+    handle = ProgramHandle(program=program, processes=procs,
+                           t_start=device.sim.now)
+    if not hasattr(device, "_pending_programs"):
+        device._pending_programs = []  # type: ignore[attr-defined]
+    device._pending_programs.append(handle)  # type: ignore[attr-defined]
+    return handle
+
+
+def Finish(device: GrayskullDevice,
+           max_events: Optional[int] = None) -> float:
+    """Run the device until all enqueued programs complete.
+
+    Returns the wall time since the earliest unfinished program started.
+    """
+    pending: List[ProgramHandle] = getattr(device, "_pending_programs", [])
+    if not pending:
+        return 0.0
+    t0 = min(h.t_start for h in pending)
+    for handle in pending:
+        for proc in handle.processes:
+            device.sim.run(until=proc, max_events=max_events)
+        handle.t_end = device.sim.now
+    device._pending_programs = []  # type: ignore[attr-defined]
+    device.energy.set_active_cores(0)
+    return device.sim.now - t0

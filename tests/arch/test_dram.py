@@ -1,0 +1,158 @@
+"""DRAM bank tests: storage, alignment corruption rules, allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.dram import AccessFault, Dram, DramBank
+from repro.perfmodel.calibration import DEFAULT_COSTS
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def dram(sim):
+    return Dram(sim, DEFAULT_COSTS, bank_capacity=1 << 16)
+
+
+class TestBasicStorage:
+    def test_aligned_write_then_read(self, dram, rng):
+        bank = dram.bank(0)
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        bank.write(64, data)
+        assert np.array_equal(bank.read(64, 64), data)
+
+    def test_read_returns_copy(self, dram):
+        bank = dram.bank(0)
+        bank.write(0, np.full(32, 7, dtype=np.uint8))
+        snap = bank.read(0, 32)
+        bank.write(0, np.full(32, 9, dtype=np.uint8))
+        assert np.all(snap == 7)
+
+    def test_out_of_range_read(self, dram):
+        with pytest.raises(AccessFault):
+            dram.bank(0).read(1 << 16, 4)
+
+    def test_out_of_range_write(self, dram):
+        with pytest.raises(AccessFault):
+            dram.bank(0).write((1 << 16) - 2, np.zeros(4, dtype=np.uint8))
+
+    def test_negative_address(self, dram):
+        with pytest.raises(AccessFault):
+            dram.bank(0).read(-4, 4)
+
+    def test_counters(self, dram):
+        bank = dram.bank(0)
+        bank.write(0, np.zeros(32, dtype=np.uint8))
+        bank.read(0, 32)
+        assert bank.reads == 1 and bank.writes == 1
+
+
+class TestAlignmentRules:
+    """Section IV-B: the behaviour the paper reverse-engineered."""
+
+    def test_unaligned_read_returns_shifted_data(self, dram):
+        bank = dram.bank(0)
+        payload = np.arange(64, dtype=np.uint8)
+        bank.write(0, payload)
+        got = bank.read(2, 16)  # misaligned by 2
+        # DMA fetches from the aligned-down address 0: shifted data.
+        assert np.array_equal(got, payload[0:16])
+        assert not np.array_equal(got, payload[2:18])
+        assert bank.unaligned_reads == 1
+
+    def test_aligned_read_is_correct(self, dram):
+        bank = dram.bank(0)
+        payload = np.arange(96, dtype=np.uint8)
+        bank.write(0, payload)
+        assert np.array_equal(bank.read(32, 16), payload[32:48])
+        assert bank.unaligned_reads == 0
+
+    def test_listing4_workaround_recovers_data(self, dram):
+        """Reading from the aligned-down address and skipping the slack
+        (Listing 4) yields the right bytes."""
+        bank = dram.bank(0)
+        payload = np.arange(128, dtype=np.uint8)
+        bank.write(0, payload)
+        want_addr, want_size = 34, 20
+        offset = want_addr % 32
+        got = bank.read(want_addr - offset, want_size + offset)
+        assert np.array_equal(got[offset:], payload[want_addr:want_addr + want_size])
+
+    def test_unaligned_noncontiguous_write_corrupts(self, dram):
+        bank = dram.bank(0)
+        bank.write(0, np.zeros(128, dtype=np.uint8))
+        data = np.full(8, 0xAB, dtype=np.uint8)
+        bank.write(36, data)  # not contiguous with anything, misaligned
+        # landed at the aligned-down address 32 instead of 36
+        assert np.all(bank.read(32, 8) == 0xAB)
+        assert not np.all(bank.read(32, 40)[4:12] == 0xAB)
+        assert bank.corrupted_writes == 1
+
+    def test_unaligned_contiguous_continuation_merges(self, dram):
+        """The paper: contiguous unaligned writes 'do work'."""
+        bank = dram.bank(0)
+        bank.write(64, np.full(10, 1, dtype=np.uint8))   # ends at 74
+        bank.write(74, np.full(10, 2, dtype=np.uint8))   # continuation: OK
+        assert np.all(bank.read(64, 10) == 1)
+        assert np.all(bank.read(64, 20)[10:] == 2)
+        assert bank.corrupted_writes == 0
+
+    def test_aligned_writes_never_corrupt(self, dram, rng):
+        bank = dram.bank(0)
+        for addr in (0, 32, 64, 512):
+            bank.write(addr, rng.integers(0, 256, 32, dtype=np.uint8))
+        assert bank.corrupted_writes == 0
+
+
+class TestAllocation:
+    def test_round_robin_across_banks(self, dram):
+        banks = [dram.allocate(128)[0] for _ in range(10)]
+        assert banks[:8] == list(range(8))
+        assert banks[8] == 0  # wraps
+
+    def test_explicit_bank(self, dram):
+        bank_id, addr = dram.allocate(128, bank_id=3)
+        assert bank_id == 3
+
+    def test_addresses_aligned(self, dram):
+        for _ in range(5):
+            _, addr = dram.allocate(100, bank_id=1)
+            assert addr % 32 == 0
+
+    def test_exhaustion(self, dram):
+        dram.allocate(1 << 15, bank_id=0)
+        dram.allocate(1 << 15, bank_id=0)
+        with pytest.raises(AccessFault, match="exhausted"):
+            dram.allocate(64, bank_id=0)
+
+    def test_zero_size_rejected(self, dram):
+        with pytest.raises(ValueError):
+            dram.allocate(0)
+
+    def test_interleaved_pages_cycle_banks(self, dram):
+        pages = dram.allocate_interleaved(10 * 1024, 1024)
+        assert [b for b, _ in pages] == [p % 8 for p in range(10)]
+
+    def test_interleaved_page_cap(self, dram):
+        with pytest.raises(ValueError, match="exceeds"):
+            dram.allocate_interleaved(1 << 20, 128 << 10)
+
+    def test_interleaved_rounds_up(self, dram):
+        pages = dram.allocate_interleaved(1500, 1024)
+        assert len(pages) == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(addr=st.integers(0, 960), size=st.integers(1, 64),
+       seed=st.integers(0, 99))
+def test_aligned_write_read_roundtrip_property(addr, size, seed):
+    """Any aligned write followed by an aligned read returns the payload."""
+    addr = (addr // 32) * 32
+    sim = Simulator()
+    dram = Dram(sim, DEFAULT_COSTS, bank_capacity=4096)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size, dtype=np.uint8)
+    bank = dram.bank(0)
+    bank.write(addr, data)
+    assert np.array_equal(bank.read(addr, size), data)

@@ -1,0 +1,82 @@
+"""L1 SRAM allocator tests."""
+
+import pytest
+
+from repro.arch.sram import Sram, SramExhausted
+
+
+class TestAllocation:
+    def test_starts_above_reserved(self):
+        sram = Sram()
+        assert sram.allocate(64) >= Sram.RESERVED
+
+    def test_alignment(self):
+        sram = Sram()
+        sram.allocate(5)
+        addr = sram.allocate(64, align=64)
+        assert addr % 64 == 0
+
+    def test_allocations_disjoint(self):
+        sram = Sram()
+        a = sram.allocate(100)
+        b = sram.allocate(100)
+        assert b >= a + 100
+
+    def test_exhaustion(self):
+        sram = Sram(32 * 1024)
+        with pytest.raises(SramExhausted):
+            sram.allocate(64 * 1024)
+
+    def test_exhaustion_message_mentions_free(self):
+        sram = Sram(32 * 1024)
+        with pytest.raises(SramExhausted, match="free"):
+            sram.allocate(1 << 20)
+
+    def test_one_megabyte_default(self):
+        assert Sram().capacity == 1 << 20
+
+    def test_bad_params(self):
+        sram = Sram()
+        with pytest.raises(ValueError):
+            sram.allocate(0)
+        with pytest.raises(ValueError):
+            sram.allocate(8, align=3)
+        with pytest.raises(ValueError):
+            Sram(capacity=Sram.RESERVED)
+
+    def test_free_accounting(self):
+        sram = Sram()
+        before = sram.free
+        sram.allocate(1024, align=32)
+        assert sram.free <= before - 1024
+
+
+class TestViews:
+    def test_byte_view_is_writable_window(self):
+        sram = Sram()
+        a = sram.allocate(16)
+        sram.view(a, 16)[:] = 0xFF
+        assert all(sram.mem[a:a + 16] == 0xFF)
+        assert sram.mem[a - 1] != 0xFF
+
+    def test_u16_view(self):
+        sram = Sram()
+        a = sram.allocate(8, align=32)
+        sram.view_u16(a, 4)[:] = 0x1234
+        assert sram.view(a, 2)[0] == 0x34  # little-endian
+
+    def test_u16_requires_even_address(self):
+        sram = Sram()
+        with pytest.raises(ValueError):
+            sram.view_u16(17, 2)
+
+    def test_u32_view(self):
+        sram = Sram()
+        a = sram.allocate(8, align=32)
+        sram.view_u32(a, 1)[:] = 0xDEADBEEF
+        assert int(sram.view_u16(a, 2)[0]) == 0xBEEF
+
+    def test_out_of_range(self):
+        sram = Sram()
+        with pytest.raises(IndexError):
+            sram.view(sram.capacity - 4, 8)

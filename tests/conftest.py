@@ -1,0 +1,53 @@
+"""Shared fixtures: small devices and problems that keep tests fast."""
+
+import numpy as np
+import pytest
+
+from repro.arch.device import GrayskullDevice
+from repro.core.grid import LaplaceProblem
+from repro.perfmodel.calibration import DEFAULT_COSTS
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def device():
+    """A Grayskull with small DRAM banks (1 MiB each) for fast tests."""
+    return GrayskullDevice(dram_bank_capacity=1 << 20)
+
+
+@pytest.fixture
+def device_factory():
+    def make():
+        return GrayskullDevice(dram_bank_capacity=1 << 20)
+    return make
+
+
+@pytest.fixture
+def big_device():
+    """Banks large enough for mid-sized streaming/Jacobi runs."""
+    return GrayskullDevice(dram_bank_capacity=16 << 20)
+
+
+@pytest.fixture
+def small_problem():
+    return LaplaceProblem(nx=32, ny=32)
+
+
+@pytest.fixture
+def problem_64():
+    return LaplaceProblem(nx=64, ny=64)
+
+
+@pytest.fixture
+def costs():
+    return DEFAULT_COSTS
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,116 @@
+"""LaplaceProblem and AlignedDomain layout tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import PAD_ELEMS, AlignedDomain, LaplaceProblem
+from repro.dtypes.bf16 import BF16_BYTES, bits_to_f32
+
+
+class TestLaplaceProblem:
+    def test_initial_grid_shape(self):
+        p = LaplaceProblem(nx=32, ny=16)
+        assert p.initial_grid_f32().shape == (18, 34)
+
+    def test_boundary_values(self):
+        p = LaplaceProblem(nx=32, ny=32, left=1.0, right=-2.0, top=3.0,
+                           bottom=4.0, initial=0.5)
+        g = p.initial_grid_f32()
+        assert np.all(g[1:-1, 0] == 1.0)
+        assert np.all(g[1:-1, -1] == -2.0)
+        assert np.all(g[0, 1:-1] == 3.0)
+        assert np.all(g[-1, 1:-1] == 4.0)
+        assert np.all(g[1:-1, 1:-1] == 0.5)
+
+    def test_bf16_grid_matches_f32(self):
+        p = LaplaceProblem(nx=32, ny=32, left=0.7)
+        f = bits_to_f32(p.initial_grid_bf16())
+        assert f[1, 0] == pytest.approx(0.7, rel=2 ** -8)
+
+    def test_extrema(self):
+        p = LaplaceProblem(nx=32, ny=32, left=-3.0, right=5.0, initial=1.0)
+        assert p.boundary_extrema() == (-3.0, 5.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LaplaceProblem(nx=0, ny=4)
+
+    def test_render_mentions_boundaries(self):
+        text = LaplaceProblem(nx=8, ny=8, left=1.5).render()
+        assert "left=1.5" in text and "B" in text
+
+
+class TestAlignedDomain:
+    def test_geometry(self):
+        layout = AlignedDomain(LaplaceProblem(nx=64, ny=32))
+        assert layout.row_elems == 64 + 2 * PAD_ELEMS
+        assert layout.row_bytes == layout.row_elems * BF16_BYTES
+        assert layout.n_rows == 34
+        assert layout.nbytes == 34 * layout.row_bytes
+
+    def test_nx_must_be_tile_multiple(self):
+        with pytest.raises(ValueError, match="multiple of 32"):
+            AlignedDomain(LaplaceProblem(nx=33, ny=32))
+
+    def test_pack_unpack_roundtrip(self, rng):
+        p = LaplaceProblem(nx=64, ny=32)
+        layout = AlignedDomain(p)
+        grid = rng.integers(0, 2 ** 16, (34, 66), dtype=np.uint16)
+        assert np.array_equal(layout.unpack(layout.pack(grid)), grid)
+
+    def test_pad_holds_boundary_conditions(self):
+        p = LaplaceProblem(nx=32, ny=32, left=1.0, right=2.0)
+        layout = AlignedDomain(p)
+        img = layout.pack()
+        f = bits_to_f32(img)
+        assert np.all(f[1:-1, PAD_ELEMS - 1] == 1.0)   # innermost left pad
+        assert np.all(f[1:-1, PAD_ELEMS + 32] == 2.0)  # innermost right pad
+        assert np.all(f[1:-1, :PAD_ELEMS - 1] == 0.0)  # rest of pad empty
+
+    def test_interior_writes_are_256bit_aligned(self):
+        """The whole point of Fig. 5: every tile-row write lands aligned."""
+        layout = AlignedDomain(LaplaceProblem(nx=128, ny=64))
+        for row in range(1, 65):
+            for tile_x in range(0, 128, 32):
+                assert layout.elem_offset(row, tile_x) % 32 == 0
+
+    def test_stencil_reads_are_misaligned_by_30(self):
+        """...while the x-1 halo reads are misaligned (hence Listing 4)."""
+        layout = AlignedDomain(LaplaceProblem(nx=128, ny=64))
+        off = layout.stencil_row_offset(1, 0)
+        assert off % 32 == 30
+
+    def test_row_offsets_monotone(self):
+        layout = AlignedDomain(LaplaceProblem(nx=32, ny=8))
+        offs = [layout.row_offset(r) for r in range(layout.n_rows)]
+        assert offs == sorted(offs)
+        assert offs[1] - offs[0] == layout.row_bytes
+
+    def test_bounds_checked(self):
+        layout = AlignedDomain(LaplaceProblem(nx=32, ny=8))
+        with pytest.raises(IndexError):
+            layout.row_offset(10)
+        with pytest.raises(IndexError):
+            layout.elem_offset(0, 32)
+
+    def test_pack_rejects_wrong_shape(self):
+        layout = AlignedDomain(LaplaceProblem(nx=32, ny=8))
+        with pytest.raises(ValueError):
+            layout.pack(np.zeros((4, 4), dtype=np.uint16))
+
+    def test_render(self):
+        text = AlignedDomain(LaplaceProblem(nx=32, ny=8)).render()
+        assert "byte 32" in text
+
+
+@settings(max_examples=30, deadline=None)
+@given(nx=st.sampled_from([32, 64, 96, 128]), ny=st.integers(1, 40),
+       seed=st.integers(0, 99))
+def test_pack_unpack_bijection(nx, ny, seed):
+    p = LaplaceProblem(nx=nx, ny=ny)
+    layout = AlignedDomain(p)
+    rng = np.random.default_rng(seed)
+    grid = rng.integers(0, 2 ** 16, (ny + 2, nx + 2), dtype=np.uint16)
+    assert np.array_equal(layout.unpack(layout.pack(grid)), grid)

@@ -1,0 +1,122 @@
+"""Section-IV kernel tests: bit-exactness, variants, alignment bug demo."""
+
+import numpy as np
+import pytest
+
+from repro.arch.device import GrayskullDevice
+from repro.core.grid import LaplaceProblem
+from repro.core.jacobi_initial import (
+    InitialConfig,
+    InitialJacobiRunner,
+    describe_dataflow,
+)
+from repro.cpu.jacobi import jacobi_solve_bf16
+from repro.dtypes.bf16 import bits_to_f32
+
+
+def reference_bits(problem, iterations):
+    return jacobi_solve_bf16(problem.initial_grid_bf16(), iterations)
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("cfg_name", ["initial", "write_optimised",
+                                          "double_buffered_cfg"])
+    def test_variant_matches_bf16_reference(self, device_factory,
+                                            small_problem, cfg_name):
+        cfg = getattr(InitialConfig, cfg_name)()
+        runner = InitialJacobiRunner(device_factory(), small_problem, cfg)
+        res = runner.run(4)
+        want = reference_bits(small_problem, 4)
+        assert np.array_equal(res.grid_bits, want)
+
+    def test_odd_iteration_count(self, device_factory, small_problem):
+        runner = InitialJacobiRunner(device_factory(), small_problem)
+        res = runner.run(3)
+        assert np.array_equal(res.grid_bits, reference_bits(small_problem, 3))
+
+    def test_single_iteration(self, device_factory, small_problem):
+        runner = InitialJacobiRunner(device_factory(), small_problem)
+        res = runner.run(1)
+        assert np.array_equal(res.grid_bits, reference_bits(small_problem, 1))
+
+    def test_multi_batch_domain(self, device_factory):
+        """A 64x64 domain has 4 batches; halos cross batch boundaries."""
+        problem = LaplaceProblem(nx=64, ny=64, left=1.0, top=0.5)
+        runner = InitialJacobiRunner(device_factory(), problem)
+        res = runner.run(3)
+        assert np.array_equal(res.grid_bits, reference_bits(problem, 3))
+
+    def test_nonsquare_domain(self, device_factory):
+        problem = LaplaceProblem(nx=96, ny=32)
+        runner = InitialJacobiRunner(device_factory(), problem)
+        res = runner.run(2)
+        assert np.array_equal(res.grid_bits, reference_bits(problem, 2))
+
+    def test_boundary_values_propagate_inward(self, device_factory):
+        problem = LaplaceProblem(nx=32, ny=32, left=1.0)
+        runner = InitialJacobiRunner(device_factory(), problem)
+        res = runner.run(10)
+        vals = bits_to_f32(res.grid_bits)
+        # after 10 iterations the left boundary has diffused inward
+        assert vals[16, 1] > vals[16, 5] > vals[16, 10] >= 0.0
+        assert vals[16, 1] > 0.0
+
+
+class TestAlignmentBugDemo:
+    def test_unaligned_reads_give_wrong_answer(self, device_factory,
+                                               small_problem):
+        """Without Listing 4 the answer is corrupted — the paper's Section
+        IV-B experience, mechanically reproduced."""
+        cfg = InitialConfig(aligned_reads=False)
+        runner = InitialJacobiRunner(device_factory(), small_problem, cfg)
+        res = runner.run(2)
+        want = reference_bits(small_problem, 2)
+        assert not np.array_equal(res.grid_bits, want)
+
+
+class TestPerformanceShape:
+    def test_variant_ordering(self, device_factory, problem_64):
+        """double-buffered > write-opt >= initial in GPt/s (Table I)."""
+        rates = {}
+        for name, cfg in [
+            ("initial", InitialConfig.initial()),
+            ("write_opt", InitialConfig.write_optimised()),
+            ("double", InitialConfig.double_buffered_cfg()),
+        ]:
+            runner = InitialJacobiRunner(device_factory(), problem_64, cfg)
+            res = runner.run(200, sim_iterations=2, read_back=False)
+            rates[name] = res.gpts
+        assert rates["double"] > rates["write_opt"] >= rates["initial"]
+
+    def test_extrapolation_scales_time(self, device_factory, small_problem):
+        runner = InitialJacobiRunner(device_factory(), small_problem)
+        short = runner.run(2, read_back=False)
+        runner2 = InitialJacobiRunner(device_factory(), small_problem)
+        extrap = runner2.run(1000, sim_iterations=2, read_back=False)
+        assert extrap.kernel_time_s == pytest.approx(
+            short.kernel_time_s * 500, rel=1e-6)
+        assert extrap.grid_bits is None  # no answer without full sim
+
+    def test_transfer_time_recorded(self, device_factory, small_problem):
+        res = InitialJacobiRunner(device_factory(), small_problem).run(1)
+        assert res.transfer_time_s > 0
+        assert res.total_time_s > res.kernel_time_s
+
+    def test_energy_positive(self, device_factory, small_problem):
+        res = InitialJacobiRunner(device_factory(), small_problem).run(2)
+        assert res.energy_j > 0
+
+
+class TestValidation:
+    def test_ny_must_be_tile_multiple(self, device_factory):
+        with pytest.raises(ValueError, match="multiple"):
+            InitialJacobiRunner(device_factory(), LaplaceProblem(nx=32, ny=30))
+
+    def test_zero_iterations_rejected(self, device_factory, small_problem):
+        runner = InitialJacobiRunner(device_factory(), small_problem)
+        with pytest.raises(ValueError):
+            runner.run(0)
+
+    def test_describe_dataflow(self):
+        text = describe_dataflow()
+        assert "dm0" in text and "semaphore" in text and "FPU" in text

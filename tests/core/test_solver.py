@@ -1,0 +1,117 @@
+"""JacobiSolver facade tests: routing, results, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import LaplaceProblem
+from repro.core.solver import JacobiSolver
+from repro.cpu.jacobi import jacobi_solve_bf16, jacobi_solve_f32
+from repro.dtypes.bf16 import bits_to_f32
+
+
+class TestRouting:
+    def test_auto_small_uses_des(self, small_problem):
+        solver = JacobiSolver(backend="auto", cores=(1, 1))
+        res = solver.solve(small_problem, 2)
+        assert res.backend == "e150"
+
+    def test_auto_large_uses_model(self, small_problem):
+        solver = JacobiSolver(backend="auto", cores=(4, 8))
+        res = solver.solve(small_problem, 2)
+        assert res.backend == "e150-model"
+
+    def test_auto_multicard_uses_model(self):
+        solver = JacobiSolver(backend="auto", cores=(2, 1), n_cards=2)
+        res = solver.solve(LaplaceProblem(nx=32, ny=8), 2)
+        assert res.backend == "e150-model"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            JacobiSolver(backend="tpu")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            JacobiSolver(variant="fastest")
+
+    def test_multicore_requires_optimized(self):
+        with pytest.raises(ValueError):
+            JacobiSolver(variant="initial", cores=(2, 2))
+
+    def test_multicard_requires_optimized(self):
+        with pytest.raises(ValueError):
+            JacobiSolver(variant="initial", n_cards=2)
+
+
+class TestAnswers:
+    def test_cpu_answer(self, small_problem):
+        res = JacobiSolver(backend="cpu").solve(small_problem, 10)
+        want = jacobi_solve_f32(small_problem.initial_grid_f32(), 10)
+        assert np.array_equal(res.grid_f32, want)
+
+    def test_des_answer_bit_exact(self, small_problem):
+        res = JacobiSolver(backend="e150").solve(small_problem, 3)
+        want = bits_to_f32(jacobi_solve_bf16(
+            small_problem.initial_grid_bf16(), 3))
+        assert np.array_equal(res.grid_f32, want)
+
+    def test_model_answer_bit_exact(self, small_problem):
+        res = JacobiSolver(backend="e150-model",
+                           cores=(2, 2)).solve(small_problem, 3)
+        want = bits_to_f32(jacobi_solve_bf16(
+            small_problem.initial_grid_bf16(), 3))
+        assert np.array_equal(res.grid_f32, want)
+
+    def test_model_can_skip_answer(self, small_problem):
+        res = JacobiSolver(backend="e150-model", cores=(2, 2)).solve(
+            small_problem, 3, compute_answer=False)
+        assert res.grid_f32 is None
+        with pytest.raises(ValueError):
+            _ = res.interior
+
+    def test_interior_shape(self, small_problem):
+        res = JacobiSolver(backend="cpu").solve(small_problem, 1)
+        assert res.interior.shape == (32, 32)
+
+
+class TestMetrics:
+    def test_all_backends_report_performance(self, small_problem):
+        for backend, kw in [("cpu", {}), ("e150", {}),
+                            ("e150-model", {"cores": (2, 2)})]:
+            res = JacobiSolver(backend=backend, **kw).solve(small_problem, 2)
+            assert res.time_s > 0
+            assert res.gpts > 0
+            assert res.energy_j > 0
+
+    def test_des_extrapolation(self, small_problem):
+        res = JacobiSolver(backend="e150").solve(
+            small_problem, 100, sim_iterations=2)
+        assert res.grid_f32 is None  # partial simulation: no answer
+        assert res.time_s > 0
+
+    def test_shared_device(self, small_problem, device_factory):
+        dev = device_factory()
+        JacobiSolver(backend="e150").solve(small_problem, 1, device=dev)
+        assert dev.sim.now > 0
+
+
+class TestSramVariant:
+    def test_routes_to_des(self, small_problem):
+        import numpy as np
+        from repro.cpu.jacobi import jacobi_solve_bf16
+        from repro.dtypes.bf16 import bits_to_f32
+        solver = JacobiSolver(backend="auto", variant="sram", cores=(2, 1))
+        res = solver.solve(small_problem, 4)
+        assert res.backend == "e150"
+        want = bits_to_f32(jacobi_solve_bf16(
+            small_problem.initial_grid_bf16(), 4))
+        assert np.array_equal(res.grid_f32, want)
+
+    def test_rejects_x_decomposition(self):
+        with pytest.raises(ValueError, match="Y"):
+            JacobiSolver(variant="sram", cores=(2, 2))
+
+    def test_rejects_model_backend(self, small_problem):
+        solver = JacobiSolver(backend="e150-model", variant="sram",
+                              cores=(2, 1))
+        with pytest.raises(ValueError, match="analytic"):
+            solver.solve(small_problem, 2)

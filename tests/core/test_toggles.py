@@ -1,0 +1,73 @@
+"""Table-II toggle runner tests."""
+
+import pytest
+
+from repro.core.grid import LaplaceProblem
+from repro.core.toggles import (
+    PAPER_TOGGLE_ROWS,
+    ToggleRow,
+    run_component_toggles,
+)
+
+
+@pytest.fixture(scope="module")
+def toggle_rows(device_factory_module):
+    problem = LaplaceProblem(nx=64, ny=64)
+    return run_component_toggles(problem, 200, sim_iterations=2,
+                                 device_factory=device_factory_module)
+
+
+@pytest.fixture(scope="module")
+def device_factory_module():
+    from repro.arch.device import GrayskullDevice
+
+    def make():
+        return GrayskullDevice(dram_bank_capacity=1 << 20)
+    return make
+
+
+def _rate(rows, key):
+    for r in rows:
+        if (r.read, r.memcpy, r.compute, r.write) == key:
+            return r.gpts
+    raise KeyError(key)
+
+
+class TestToggles:
+    def test_all_paper_rows_present(self, toggle_rows):
+        keys = [(r.read, r.memcpy, r.compute, r.write) for r in toggle_rows]
+        assert keys == PAPER_TOGGLE_ROWS
+
+    def test_paper_component_ordering(self, toggle_rows):
+        """Table II's ordering: skeleton > compute > write > read > memcpy
+        > read+memcpy."""
+        nothing = _rate(toggle_rows, (False, False, False, False))
+        compute = _rate(toggle_rows, (False, False, True, False))
+        write = _rate(toggle_rows, (False, False, False, True))
+        read = _rate(toggle_rows, (True, False, False, False))
+        memcpy = _rate(toggle_rows, (False, True, False, False))
+        both = _rate(toggle_rows, (True, True, False, False))
+        assert nothing > compute > write > read > memcpy
+        assert memcpy >= both
+
+    def test_memcpy_is_the_bottleneck(self, toggle_rows):
+        """The paper's central Section-IV finding."""
+        rates = {(r.read, r.memcpy, r.compute, r.write): r.gpts
+                 for r in toggle_rows}
+        memcpy = rates[(False, True, False, False)]
+        others = [v for k, v in rates.items()
+                  if k not in ((False, True, False, False),
+                               (True, True, False, False))]
+        assert all(memcpy < v for v in others)
+
+    def test_labels(self, toggle_rows):
+        assert toggle_rows[0].label() == \
+            "read=N memcpy=N compute=N write=N"
+
+    def test_custom_rows(self, device_factory_module):
+        rows = run_component_toggles(
+            LaplaceProblem(nx=32, ny=32), 10, sim_iterations=2,
+            rows=[(True, True, True, True)],
+            device_factory=device_factory_module)
+        assert len(rows) == 1
+        assert rows[0].read and rows[0].write

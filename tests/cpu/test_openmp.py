@@ -1,0 +1,102 @@
+"""CPU runner tests: decomposition equivalence, modelled timing/energy."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.jacobi import jacobi_step_f32
+from repro.cpu.openmp import CpuJacobiRunner, decompose_rows
+from repro.perfmodel.cpumodel import XeonModel
+
+
+class TestDecomposeRows:
+    def test_covers_exactly(self):
+        chunks = decompose_rows(100, 7)
+        assert sum(c for _, c in chunks) == 100
+        ends = [s + c for s, c in chunks]
+        starts = [s for s, _ in chunks]
+        assert starts[0] == 0
+        assert all(e == s for e, s in zip(ends[:-1], starts[1:]))
+
+    def test_balanced(self):
+        chunks = decompose_rows(10, 3)
+        sizes = [c for _, c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            decompose_rows(0, 2)
+        with pytest.raises(ValueError):
+            decompose_rows(10, 0)
+
+
+class TestThreadedEquivalence:
+    @pytest.mark.parametrize("threads", [1, 2, 3, 8])
+    def test_bit_identical_to_global_sweep(self, threads, rng):
+        runner = CpuJacobiRunner()
+        u = rng.normal(size=(20, 16)).astype(np.float32)
+        assert np.array_equal(runner.step_threaded(u, threads),
+                              jacobi_step_f32(u))
+
+
+class TestModelledRun:
+    def test_single_core_rate_is_calibrated(self, problem_64):
+        res = CpuJacobiRunner().run(problem_64.initial_grid_f32(), 10,
+                                    n_threads=1)
+        assert res.gpts == pytest.approx(1.41, rel=1e-6)
+
+    def test_24_core_rate_is_calibrated(self, problem_64):
+        res = CpuJacobiRunner().run(problem_64.initial_grid_f32(), 10,
+                                    n_threads=24)
+        assert res.gpts == pytest.approx(21.61, rel=1e-6)
+
+    def test_energy_positive_and_scales_with_time(self, problem_64):
+        r1 = CpuJacobiRunner().run(problem_64.initial_grid_f32(), 10, 1)
+        r2 = CpuJacobiRunner().run(problem_64.initial_grid_f32(), 20, 1)
+        assert r2.energy_j == pytest.approx(2 * r1.energy_j, rel=1e-6)
+
+    def test_functional_answer_matches_reference(self, problem_64):
+        from repro.cpu.jacobi import jacobi_solve_f32
+        res = CpuJacobiRunner().run(problem_64.initial_grid_f32(), 25, 4)
+        assert np.array_equal(
+            res.grid, jacobi_solve_f32(problem_64.initial_grid_f32(), 25))
+
+    def test_invalid_iterations(self, problem_64):
+        with pytest.raises(ValueError):
+            CpuJacobiRunner().run(problem_64.initial_grid_f32(), 0, 1)
+
+
+class TestXeonModel:
+    def test_monotone_in_cores(self):
+        m = XeonModel()
+        rates = [m.throughput_pts(n) for n in range(1, 25)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_sublinear_scaling(self):
+        m = XeonModel()
+        assert m.throughput_pts(24) < 24 * m.throughput_pts(1)
+
+    def test_power_calibration(self):
+        """Table VIII RAPL energies back out ~49.7 W (1 core) / ~270 W (24)."""
+        m = XeonModel()
+        assert m.power_w(1) == pytest.approx(49.7, abs=0.5)
+        assert m.power_w(24) == pytest.approx(270.0, abs=2.0)
+
+    def test_table8_cpu_rows(self):
+        """CPU rows of Table VIII reproduce from the model."""
+        m = XeonModel()
+        points, iters = 9216 * 1024, 5000
+        e1 = m.energy_j(points, iters, 1)
+        e24 = m.energy_j(points, iters, 24)
+        assert e1 == pytest.approx(1657, rel=0.02)
+        assert e24 == pytest.approx(588, rel=0.02)
+
+    def test_bounds(self):
+        m = XeonModel()
+        with pytest.raises(ValueError):
+            m.throughput_pts(0)
+        with pytest.raises(ValueError):
+            m.throughput_pts(25)
+        with pytest.raises(ValueError):
+            m.power_w(-1)
+        with pytest.raises(ValueError):
+            m.solve_time_s(0, 10, 1)

@@ -1,0 +1,72 @@
+"""Tests for the analysis helpers (metrics + table rendering)."""
+
+import pytest
+
+from repro.analysis.metrics import geomean_ratio, gpt_per_s, ratio, speedup
+from repro.analysis.report import Table, format_seconds, format_si
+
+
+class TestMetrics:
+    def test_gpt_per_s(self):
+        # 512x512 x 10000 iterations in 1 second = 2.62 GPt/s
+        assert gpt_per_s(512 * 512, 10000, 1.0) == pytest.approx(2.62144)
+
+    def test_gpt_validation(self):
+        with pytest.raises(ValueError):
+            gpt_per_s(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            gpt_per_s(1, 1, 0.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_ratio(self):
+        assert ratio(3.0, 2.0) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            ratio(1.0, 0.0)
+
+    def test_geomean_ratio(self):
+        pairs = [(2.0, 1.0), (1.0, 2.0)]  # 2x over and 2x under
+        assert geomean_ratio(pairs) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            geomean_ratio([])
+
+
+class TestFormatting:
+    def test_format_si(self):
+        assert format_si(22.06e9, "Pt/s") == "22.1 GPt/s"
+        assert format_si(1500.0) == "1.5 K"
+        assert format_si(3.0) == "3"
+
+    def test_format_seconds(self):
+        assert format_seconds(0.011) == "0.011"
+        assert format_seconds(12.659) == "12.659"
+        assert "e-" in format_seconds(1e-5)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("Demo", ["a", "long column"])
+        t.add_row("x", 1)
+        t.add_row("longer", 2)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert all(len(line) == len(lines[2]) for line in lines[2:])
+
+    def test_row_arity_checked(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only one")
+
+    def test_footnotes(self):
+        t = Table("T", ["a"])
+        t.add_row("1")
+        t.add_footnote("hello")
+        assert "note: hello" in t.render()
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table("T", [])

@@ -1,0 +1,59 @@
+"""CLI tests (driving main() in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+
+class TestCommands:
+    def test_solve_cpu(self, capsys):
+        assert main(["solve", "--backend", "cpu", "--nx", "32",
+                     "--ny", "32", "--iterations", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "GPt/s" in out and "backend=cpu" in out
+
+    def test_solve_device(self, capsys):
+        assert main(["solve", "--backend", "e150", "--nx", "32",
+                     "--ny", "32", "--iterations", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "interior range" in out
+
+    def test_solve_model_multicore(self, capsys):
+        assert main(["solve", "--backend", "e150-model", "--cores", "2x2",
+                     "--nx", "32", "--ny", "32", "--iterations", "5"]) == 0
+        assert "cores=(2, 2)" in capsys.readouterr().out
+
+    def test_table_quick(self, capsys):
+        assert main(["table", "8", "--quick"]) == 0
+        assert "Table VIII" in capsys.readouterr().out
+
+    def test_table5_quick(self, capsys):
+        assert main(["table", "5", "--quick"]) == 0
+        assert "Replication" in capsys.readouterr().out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "fig6" in out
+
+    def test_stream(self, capsys):
+        assert main(["stream", "--rows", "32", "--row-elems", "256",
+                     "--read-batch", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "GB/s read" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--nx", "32", "--ny", "32",
+                     "--iterations", "2", "--variant", "initial"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out

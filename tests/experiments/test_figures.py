@@ -1,0 +1,38 @@
+"""Figure regeneration tests."""
+
+from repro.experiments.figures import all_figures, fig1, fig2, fig3, fig4, fig5, fig6
+
+
+class TestFigures:
+    def test_fig1_tensix_structure(self):
+        text = fig1()
+        assert "dm0" in text and "dm1" in text
+        assert "FPU" in text
+        assert "1024 KiB" in text or "SRAM" in text
+        assert "108 workers" in text
+
+    def test_fig2_domain(self):
+        text = fig2()
+        assert "B" in text and "boundary" in text
+
+    def test_fig3_dataflow(self):
+        text = fig3()
+        assert "NoC0" in text and "NoC1" in text
+        assert "memcpy" in text
+
+    def test_fig4_batches(self):
+        text = fig4()
+        assert "8x8 batches" in text  # 256/32 = 8
+
+    def test_fig5_padding(self):
+        text = fig5()
+        assert "byte 32" in text and "pad" in text
+
+    def test_fig6_row_batches(self):
+        text = fig6()
+        assert "2 chunk column(s)" in text
+
+    def test_all_figures_complete(self):
+        figs = all_figures()
+        assert sorted(figs) == [f"fig{i}" for i in range(1, 7)]
+        assert all(len(v) > 50 for v in figs.values())

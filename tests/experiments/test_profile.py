@@ -1,0 +1,109 @@
+"""Profiler and DPRINT tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profile import profile_device
+from repro.arch.tensix import COMPUTE, DATA_MOVER_0, DATA_MOVER_1
+from repro.core.grid import LaplaceProblem
+from repro.core.jacobi_initial import InitialJacobiRunner
+from repro.core.jacobi_optimized import OptimizedJacobiRunner
+from repro.ttmetal import (
+    CreateCircularBuffer,
+    CreateKernel,
+    EnqueueProgram,
+    Finish,
+    Program,
+)
+
+
+class TestProfiler:
+    def test_identifies_the_memcpy_bottleneck(self, device_factory):
+        """Profiling the initial kernel points at dm0 — where the 4-CB
+        memcpy lives — reproducing the paper's Table-II conclusion from a
+        single run."""
+        dev = device_factory()
+        InitialJacobiRunner(dev, LaplaceProblem(nx=64, ny=64)).run(
+            2, read_back=False)
+        prof = profile_device(dev)
+        coord, slot = prof.bottleneck()
+        assert slot == DATA_MOVER_0
+
+    def test_optimized_kernel_bottleneck_is_compute(self, device_factory):
+        dev = device_factory()
+        OptimizedJacobiRunner(dev, LaplaceProblem(nx=64, ny=64)).run(
+            5, read_back=False)
+        prof = profile_device(dev)
+        _coord, slot = prof.bottleneck()
+        assert slot == COMPUTE
+
+    def test_busy_plus_stall_bounded_by_wall(self, device_factory):
+        dev = device_factory()
+        OptimizedJacobiRunner(dev, LaplaceProblem(nx=32, ny=32)).run(3)
+        prof = profile_device(dev)
+        for cp in prof.cores:
+            for slot in (DATA_MOVER_0, COMPUTE, DATA_MOVER_1):
+                total = cp.busy[slot] + cp.stall[slot]
+                assert total <= prof.wall_time_s * 1.01
+
+    def test_stall_time_nonzero_in_pipelines(self, device_factory):
+        """Someone always waits in a producer/consumer pipeline."""
+        dev = device_factory()
+        OptimizedJacobiRunner(dev, LaplaceProblem(nx=32, ny=32)).run(
+            3, read_back=False)
+        prof = profile_device(dev)
+        total_stall = sum(cp.stall[s] for cp in prof.cores
+                          for s in (DATA_MOVER_0, COMPUTE, DATA_MOVER_1))
+        assert total_stall > 0
+
+    def test_bank_utilisation_in_range(self, device_factory):
+        dev = device_factory()
+        OptimizedJacobiRunner(dev, LaplaceProblem(nx=32, ny=32)).run(2)
+        prof = profile_device(dev)
+        assert all(0 <= u <= 1.01 for u in prof.bank_utilisation())
+
+    def test_render(self, device_factory):
+        dev = device_factory()
+        OptimizedJacobiRunner(dev, LaplaceProblem(nx=32, ny=32)).run(
+            2, read_back=False)
+        text = profile_device(dev).render()
+        assert "bottleneck" in text and "dm0" in text
+
+    def test_empty_device(self, device_factory):
+        prof = profile_device(device_factory())
+        assert prof.cores == []
+        assert prof.bottleneck() is None
+
+
+class TestDprint:
+    def _run_with_dprint(self, dev, enabled):
+        dev.print_server_enabled = enabled
+
+        def k(ctx):
+            for i in range(3):
+                yield from ctx.dprint(f"step {i}")
+                yield ctx.sim.timeout(1e-7)
+        prog = Program(dev)
+        CreateKernel(prog, k, dev.core(0, 0), DATA_MOVER_0)
+        EnqueueProgram(dev, prog)
+        return Finish(dev)
+
+    def test_disabled_by_default_and_free(self, device_factory):
+        dev = device_factory()
+        t = self._run_with_dprint(dev, enabled=False)
+        assert dev.dprint_log == []
+        assert t == pytest.approx(3e-7, rel=0.01)
+
+    def test_enabled_collects_and_costs(self, device_factory):
+        dev = device_factory()
+        t = self._run_with_dprint(dev, enabled=True)
+        assert len(dev.dprint_log) == 3
+        assert dev.dprint_log[0][3] == "step 0"
+        # the paper's observation: printing dominates the runtime
+        assert t > 10 * 3e-7
+
+    def test_log_carries_core_and_slot(self, device_factory):
+        dev = device_factory()
+        self._run_with_dprint(dev, enabled=True)
+        _t, coord, slot, _msg = dev.dprint_log[0]
+        assert coord == (0, 0) and slot == DATA_MOVER_0

@@ -1,0 +1,87 @@
+"""Sanity checks on the transcribed paper data itself."""
+
+import pytest
+
+from repro.experiments import reference as ref
+
+
+class TestTranscription:
+    def test_table1_values(self):
+        assert ref.TABLE1_GPTS["cpu_single_core"] == 1.41
+        assert ref.TABLE1_GPTS["initial"] < ref.TABLE1_GPTS["write_opt"] \
+            < ref.TABLE1_GPTS["double_buffered"]
+
+    def test_table2_bottleneck_is_memcpy(self):
+        rates = ref.TABLE2_GPTS
+        memcpy_only = rates[(False, True, False, False)]
+        assert memcpy_only == min(
+            v for k, v in rates.items() if k != (True, True, False, False))
+
+    def test_tables34_batch_sets_match(self):
+        assert set(ref.TABLE3_RUNTIME) == set(ref.TABLE4_RUNTIME)
+        assert sorted(ref.TABLE3_RUNTIME, reverse=True)[0] == 16384
+        assert min(ref.TABLE3_RUNTIME) == 4
+
+    def test_table3_monotone_in_batch_size(self):
+        """The paper's own data: smaller batches never get faster (read)."""
+        sizes = sorted(ref.TABLE3_RUNTIME, reverse=True)
+        reads = [ref.TABLE3_RUNTIME[s][0] for s in sizes]
+        assert all(b >= a * 0.99 for a, b in zip(reads, reads[1:]))
+
+    def test_table4_never_faster_than_table3(self):
+        """Non-contiguous access never beats contiguous in the paper —
+        modulo its own measurement noise (the 512 B sync-write cell reads
+        0.032 vs 0.038, ~16 % 'better' non-contiguous)."""
+        for size in ref.TABLE3_RUNTIME:
+            for i in range(4):
+                assert ref.TABLE4_RUNTIME[size][i] >= \
+                    ref.TABLE3_RUNTIME[size][i] * 0.8
+
+    def test_table5_roughly_linear(self):
+        t1 = ref.TABLE5_RUNTIME[1]
+        t32 = ref.TABLE5_RUNTIME[32]
+        assert 8 < t32 / t1 < 32
+
+    def test_table6_interleaving_sweet_spot(self):
+        """32K/16K pages are the best at replication 32 (the paper's
+        conclusion)."""
+        best = min(ref.TABLE6_RUNTIME, key=lambda p: ref.TABLE6_RUNTIME[p][3])
+        assert best in (32 << 10, 16 << 10)
+
+    def test_table7_flat_beyond_two_cores(self):
+        for page, runtimes in ref.TABLE7_RUNTIME.items():
+            t2, t4, t8 = runtimes[1], runtimes[2], runtimes[3]
+            assert t8 >= t2 * 0.4  # nowhere near 4x scaling
+
+    def test_table8_core_counts_consistent(self):
+        for row in ref.TABLE8_ROWS:
+            typ, total, cy, cx, cards, gpts, energy = row
+            if cy is not None:
+                assert cy * cx == total / max(cards, 1) * max(cards, 1) \
+                    or cy * cx == total
+                assert cy * cx == total, row
+            assert gpts > 0 and energy > 0
+
+    def test_table8_energy_story(self):
+        """e150 full card ~5x less energy than the 24-core CPU."""
+        rows = {(r[0], r[1]): r for r in ref.TABLE8_ROWS}
+        cpu24 = rows[("cpu", 24)]
+        e150 = rows[("e150", 108)]
+        assert 4.0 < cpu24[6] / e150[6] < 7.0
+        # and roughly comparable speed
+        assert 0.9 < e150[5] / cpu24[5] < 1.1
+
+    def test_table8_multicard_linear(self):
+        rows = {(r[0], r[1]): r for r in ref.TABLE8_ROWS}
+        one = rows[("e150", 108)][5]
+        two = rows[("e150 x 2", 216)][5]
+        four = rows[("e150 x 4", 432)][5]
+        assert two == pytest.approx(2 * one, rel=0.01)
+        assert four == pytest.approx(4 * one, rel=0.02)
+
+    def test_problem_definitions(self):
+        assert ref.TABLE1_PROBLEM["nx"] * ref.TABLE1_PROBLEM["ny"] == 262144
+        assert ref.TABLE8_PROBLEM["nx"] * ref.TABLE8_PROBLEM["ny"] == \
+            9216 * 1024
+        assert ref.STREAM_PROBLEM["rows"] * ref.STREAM_PROBLEM["row_elems"] \
+            * ref.STREAM_PROBLEM["elem_bytes"] == 64 << 20

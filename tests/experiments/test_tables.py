@@ -1,0 +1,101 @@
+"""Experiment-driver tests at reduced scale (full scale runs in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import table1, table2, table34, table567, table8
+from repro.experiments.common import ExperimentResult, RowComparison
+
+
+class TestCommon:
+    def test_ratio(self):
+        c = RowComparison("x", 2.0, 4.0)
+        assert c.ratio == pytest.approx(0.5)
+        assert RowComparison("y", 1.0, None).ratio is None
+
+    def test_worst_ratio(self):
+        from repro.analysis.report import Table
+        res = ExperimentResult("t", "t", Table("t", ["a"]))
+        res.comparisons.extend([
+            RowComparison("a", 2.0, 1.0),   # 2x over
+            RowComparison("b", 1.0, 3.0),   # 3x under
+            RowComparison("c", 1.0, None),
+        ])
+        assert res.worst_ratio() == pytest.approx(3.0)
+
+
+class TestTable1:
+    def test_reduced_scale(self):
+        res = table1.run(nx=64, ny=64, iterations=100, sim_iterations=2)
+        assert len(res.comparisons) == 4
+        # off-paper-size runs carry no paper values
+        assert all(c.paper is None for c in res.comparisons)
+        rates = {c.label: c.measured for c in res.comparisons}
+        assert rates["Double buffering"] > rates["Initial"]
+        assert rates["CPU single core"] == pytest.approx(1.41)
+        assert "Table I" in res.render()
+
+
+class TestTable2:
+    def test_reduced_scale_ordering(self):
+        res = table2.run(nx=64, ny=64, iterations=100, sim_iterations=2)
+        rates = [c.measured for c in res.comparisons]
+        assert len(rates) == 6
+        # skeleton fastest, memcpy rows slowest
+        assert rates[0] == max(rates)
+        assert min(rates) in (rates[4], rates[5])
+
+
+class TestTables34:
+    def test_table3_structure(self):
+        res = table34.run_table3(rows=32, row_elems=256,
+                                 batch_sizes=[1024, 64])
+        assert res.experiment_id == "table3"
+        assert len(res.comparisons) == 2 * 4
+        assert all(c.measured > 0 for c in res.comparisons)
+
+    def test_table4_noncontig_slower(self):
+        r3 = table34.run_table3(rows=32, row_elems=256, batch_sizes=[16])
+        r4 = table34.run_table4(rows=32, row_elems=256, batch_sizes=[16])
+        m3 = {c.label: c.measured for c in r3.comparisons}
+        m4 = {c.label: c.measured for c in r4.comparisons}
+        assert m4["16B read nosync"] > m3["16B read nosync"]
+
+
+class TestTables567:
+    def test_table5_monotone(self):
+        res = table567.run_table5(rows=32, row_elems=256, factors=(1, 2, 4))
+        vals = [c.measured for c in res.comparisons]
+        assert vals == sorted(vals)
+
+    def test_table6_interleaving_helps_replication(self):
+        res = table567.run_table6(rows=32, row_elems=1024,
+                                  page_sizes=[None, 16 << 10],
+                                  replications=(0, 8))
+        m = {c.label: c.measured for c in res.comparisons}
+        assert m["page 16K repl 8"] < m["page none repl 8"]
+
+    def test_table7_saturation(self):
+        res = table567.run_table7(rows=64, row_elems=1024,
+                                  page_sizes=[None], core_counts=(1, 2, 4))
+        m = {c.label: c.measured for c in res.comparisons}
+        assert m["page none cores 2"] < m["page none cores 1"]
+        # beyond 2 cores: no big further gain
+        assert m["page none cores 4"] > 0.5 * m["page none cores 2"]
+
+
+class TestTable8:
+    def test_reduced_rows(self):
+        rows = [("cpu", 1, None, None, 0, 1.41, 1657.0),
+                ("cpu", 24, None, None, 0, 21.61, 588.0),
+                ("e150", 4, 2, 2, 1, None, None),
+                ("e150 x 2", 8, 4, 2, 2, None, None)]
+        res = table8.run(nx=1024, ny=64, iterations=10, rows=rows)
+        assert len(res.comparisons) == 8
+        text = res.table.render()
+        assert "e150 x 2" in text
+
+    def test_paper_scale_fidelity(self):
+        """Full Table VIII via the models: every ratio within 1.6x."""
+        res = table8.run()
+        worst = res.worst_ratio()
+        assert worst is not None and worst < 1.6

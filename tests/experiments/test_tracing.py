@@ -1,0 +1,68 @@
+"""Chrome-trace export tests."""
+
+import json
+
+import pytest
+
+from repro.analysis.tracing import Tracer
+from repro.arch.tensix import COMPUTE, DATA_MOVER_0, DATA_MOVER_1
+from repro.core.grid import LaplaceProblem
+from repro.core.jacobi_optimized import OptimizedJacobiRunner
+
+
+@pytest.fixture
+def traced_run(device_factory):
+    dev = device_factory()
+    dev.tracer = Tracer()
+    OptimizedJacobiRunner(dev, LaplaceProblem(nx=32, ny=16)).run(
+        3, read_back=False)
+    return dev
+
+
+class TestTracer:
+    def test_records_busy_and_stall(self, traced_run):
+        kinds = {e.kind for e in traced_run.tracer.events}
+        assert kinds == {"busy", "stall"}
+
+    def test_all_three_slots_appear(self, traced_run):
+        slots = {e.slot for e in traced_run.tracer.events}
+        assert slots == {DATA_MOVER_0, COMPUTE, DATA_MOVER_1}
+
+    def test_busy_matches_core_accounting(self, traced_run):
+        core = traced_run.core(0, 0)
+        for slot in (DATA_MOVER_0, COMPUTE, DATA_MOVER_1):
+            traced = traced_run.tracer.busy_time(core=(0, 0), slot=slot)
+            assert traced == pytest.approx(core.busy_time[slot], rel=1e-9)
+
+    def test_pipeline_overlap_visible(self, traced_run):
+        """Reader and compute busy intervals overlap — the whole point of
+        the CB pipeline."""
+        ov = traced_run.tracer.overlap(DATA_MOVER_0, COMPUTE, (0, 0))
+        assert ov > 0
+
+    def test_chrome_json_roundtrip(self, traced_run, tmp_path):
+        path = tmp_path / "run.trace.json"
+        traced_run.tracer.save(str(path))
+        data = json.loads(path.read_text())
+        assert data["traceEvents"]
+        ev = data["traceEvents"][0]
+        assert ev["ph"] == "X" and "ts" in ev and "dur" in ev
+        assert ev["pid"].startswith("core")
+
+    def test_zero_duration_dropped(self):
+        t = Tracer()
+        t.record((0, 0), "dm0", "busy", 1.0, 1.0)
+        assert t.events == []
+
+    def test_stalls_optional(self):
+        t = Tracer(record_stalls=False)
+        t.record((0, 0), "dm0", "stall", 0.0, 1.0)
+        t.record((0, 0), "dm0", "busy", 0.0, 1.0)
+        assert len(t.events) == 1
+
+    def test_no_tracer_no_overhead(self, device_factory):
+        dev = device_factory()
+        assert not hasattr(dev, "tracer") or dev.tracer is None
+        res = OptimizedJacobiRunner(dev, LaplaceProblem(nx=32, ny=8)).run(
+            2, read_back=False)
+        assert res.kernel_time_s > 0

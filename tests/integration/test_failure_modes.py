@@ -1,0 +1,180 @@
+"""Failure injection: the machine's limits fail loudly and correctly."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dram import AccessFault
+from repro.arch.sram import SramExhausted
+from repro.arch.tensix import COMPUTE, DATA_MOVER_0, DATA_MOVER_1
+from repro.sim import SimulationError, Simulator
+from repro.sim.resources import Semaphore
+from repro.ttmetal import (
+    CreateCircularBuffer,
+    CreateKernel,
+    EnqueueProgram,
+    Finish,
+    Program,
+    create_buffer,
+)
+
+
+class TestCapacityLimits:
+    def test_l1_oversubscription_by_cbs(self, device):
+        """Configuring more CB pages than 1 MB of L1 fails at creation
+        (the real tt-metal failure mode)."""
+        core = device.core(0, 0)
+        with pytest.raises(SramExhausted):
+            for cb_id in range(40):
+                core.create_cb(cb_id, 32 * 1024, 1)
+
+    def test_dram_bank_exhaustion(self, device):
+        with pytest.raises(AccessFault, match="exhausted"):
+            for _ in range(20):
+                create_buffer(device, 256 * 1024, bank_id=0)
+
+    def test_interleaved_exhaustion(self, device):
+        # device fixture banks are 1 MiB each (8 MiB total)
+        with pytest.raises(AccessFault):
+            create_buffer(device, 16 << 20, interleaved=True,
+                          page_size=16 << 10)
+
+    def test_kernel_l1_allocation_failure_surfaces(self, device):
+        def greedy(ctx):
+            yield ctx.sim.timeout(0)
+            ctx.core.sram.allocate(2 << 20)
+        prog = Program(device)
+        CreateKernel(prog, greedy, device.core(0, 0), DATA_MOVER_0)
+        EnqueueProgram(device, prog)
+        with pytest.raises(SimulationError, match="crashed"):
+            Finish(device)
+
+
+class TestDeadlocks:
+    def test_unbalanced_cb_deadlock_detected(self, device):
+        """A consumer waiting for pages nobody pushes is reported as a
+        deadlock, not a hang."""
+        def consumer(ctx):
+            yield from ctx.cb_wait_front(0, 1)
+        prog = Program(device)
+        CreateCircularBuffer(prog, device.core(0, 0), 0, 64, 2)
+        CreateKernel(prog, consumer, device.core(0, 0), DATA_MOVER_0)
+        EnqueueProgram(device, prog)
+        with pytest.raises(SimulationError, match="deadlock"):
+            Finish(device)
+
+    def test_semaphore_deadlock_detected(self, device):
+        def waiter(ctx):
+            yield from ctx.semaphore_wait(0, 5)
+        prog = Program(device)
+        from repro.ttmetal import CreateSemaphore
+        CreateSemaphore(prog, device.core(0, 0), 0, 0)
+        CreateKernel(prog, waiter, device.core(0, 0), DATA_MOVER_0)
+        EnqueueProgram(device, prog)
+        with pytest.raises(SimulationError, match="deadlock"):
+            Finish(device)
+
+    def test_cross_core_deadlock_detected(self, device):
+        """Two cores each waiting on the other's semaphore."""
+        a = Semaphore(device.sim, 0, name="a")
+        b = Semaphore(device.sim, 0, name="b")
+
+        def k1(ctx):
+            yield from ctx.semaphore_wait(a, 1)
+            yield from ctx.semaphore_inc(b, 1)
+
+        def k2(ctx):
+            yield from ctx.semaphore_wait(b, 1)
+            yield from ctx.semaphore_inc(a, 1)
+        prog = Program(device)
+        CreateKernel(prog, k1, device.core(0, 0), DATA_MOVER_0)
+        CreateKernel(prog, k2, device.core(1, 0), DATA_MOVER_0)
+        EnqueueProgram(device, prog)
+        with pytest.raises(SimulationError, match="deadlock"):
+            Finish(device)
+
+
+class TestKernelCrashes:
+    def test_exception_in_kernel_names_the_core(self, device):
+        def bad(ctx):
+            yield ctx.sim.timeout(1e-9)
+            raise RuntimeError("kernel bug")
+        prog = Program(device)
+        CreateKernel(prog, bad, device.core(2, 3), DATA_MOVER_1)
+        EnqueueProgram(device, prog)
+        with pytest.raises(SimulationError, match=r"\(2, 3\)"):
+            Finish(device)
+
+    def test_cb_protocol_violation_surfaces(self, device):
+        def bad(ctx):
+            yield ctx.sim.timeout(0)
+            ctx._cb(0).push_back(1)  # push without reserve
+        prog = Program(device)
+        CreateCircularBuffer(prog, device.core(0, 0), 0, 64, 2)
+        CreateKernel(prog, bad, device.core(0, 0), DATA_MOVER_0)
+        EnqueueProgram(device, prog)
+        with pytest.raises(SimulationError) as ei:
+            Finish(device)
+        assert "reserve" in str(ei.value.__cause__)
+
+    def test_out_of_range_dram_read_surfaces(self, device):
+        buf = create_buffer(device, 64, bank_id=0)
+
+        def bad(ctx):
+            l1 = ctx.core.sram.allocate(256)
+            yield from ctx.noc_read_buffer(buf, 0, l1, 256)  # beyond buffer
+        prog = Program(device)
+        CreateKernel(prog, bad, device.core(0, 0), DATA_MOVER_0)
+        EnqueueProgram(device, prog)
+        with pytest.raises(SimulationError):
+            Finish(device)
+
+
+class TestSemaphoreSemantics:
+    """The broadcast-watcher / FIFO-acquirer split (a real bug we hit:
+    a high-threshold watcher must not block lower-threshold ones)."""
+
+    def test_watchers_fire_out_of_order(self, sim):
+        sem = Semaphore(sim, 0)
+        order = []
+
+        def w(name, threshold):
+            yield sem.wait_at_least(threshold)
+            order.append(name)
+        sim.process(w("high", 5))
+        sim.process(w("low", 1))
+
+        def releaser():
+            yield sim.timeout(1)
+            sem.release(1)    # low fires now, despite high queued first
+            yield sim.timeout(1)
+            sem.release(4)
+        sim.process(releaser())
+        sim.run()
+        assert order == ["low", "high"]
+
+    def test_acquirers_remain_fifo(self, sim):
+        sem = Semaphore(sim, 0)
+        order = []
+
+        def a(name, n):
+            yield sem.acquire(n)
+            order.append(name)
+        sim.process(a("big", 3))
+        sim.process(a("small", 1))
+        sem.release(4)
+        sim.run()
+        assert order == ["big", "small"]
+
+    def test_watcher_does_not_consume(self, sim):
+        sem = Semaphore(sim, 0)
+
+        def w():
+            yield sem.wait_at_least(2)
+
+        def a():
+            yield sem.acquire(2)
+            return sem.value
+        sim.process(w())
+        p = sim.process(a())
+        sem.release(2)
+        assert sim.run(until=p) == 0  # acquire got both units

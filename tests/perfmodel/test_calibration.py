@@ -1,0 +1,139 @@
+"""Calibration provenance tests: each constant re-derives from the paper.
+
+These tests repeat the arithmetic in the calibration docstring so the
+derivations cannot drift from the constants.
+"""
+
+import pytest
+
+from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+
+# The streaming problem behind Tables III-VII.
+_TOTAL_BYTES = 4096 * 4096 * 4          # 67.11 MB
+_REQS_4B = _TOTAL_BYTES // 4            # 16.78 M requests at 4-byte batches
+
+
+class TestDerivations:
+    def test_read_issue_from_table3(self):
+        # 4 B no-sync read: 1.761 s over 16.78 M requests
+        assert DEFAULT_COSTS.read_issue == pytest.approx(
+            1.761 / _REQS_4B, rel=0.02)
+
+    def test_read_latency_from_table3(self):
+        # 4 B sync read 12.659 s => 754 ns/request minus the issue cost
+        per_req = 12.659 / _REQS_4B
+        assert (DEFAULT_COSTS.read_issue + DEFAULT_COSTS.read_latency
+                ) == pytest.approx(per_req, rel=0.02)
+
+    def test_write_issue_from_table3(self):
+        assert DEFAULT_COSTS.write_issue == pytest.approx(
+            0.411 / _REQS_4B, rel=0.02)
+
+    def test_write_latency_from_table3(self):
+        per_req = 2.873 / _REQS_4B
+        assert (DEFAULT_COSTS.write_issue + DEFAULT_COSTS.write_latency
+                ) == pytest.approx(per_req, rel=0.02)
+
+    def test_noncontig_read_from_table4(self):
+        assert DEFAULT_COSTS.noncontig_read == pytest.approx(
+            (1.969 - 1.761) / _REQS_4B, rel=0.05)
+
+    def test_noncontig_write_from_table4_64B(self):
+        reqs_64 = _TOTAL_BYTES // 64
+        assert DEFAULT_COSTS.noncontig_write == pytest.approx(
+            (0.074 - 0.027) / reqs_64, rel=0.05)
+
+    def test_link_bw_from_table3(self):
+        assert DEFAULT_COSTS.noc_link_bw == pytest.approx(
+            _TOTAL_BYTES / 0.011, rel=0.02)
+
+    def test_interleaved_link_is_double(self):
+        assert DEFAULT_COSTS.noc_link_bw_interleaved == pytest.approx(
+            2 * DEFAULT_COSTS.noc_link_bw, rel=1e-6)
+
+    def test_bank_bw_from_table7(self):
+        # >= 2 cores on one bank: 2 x 67.11 MB in 0.005 s, rounded to the
+        # nominal 25.6 GB/s
+        measured = 2 * _TOTAL_BYTES / 0.005
+        assert DEFAULT_COSTS.dram_bank_bw == pytest.approx(measured, rel=0.05)
+
+    def test_column_bw_from_table8(self):
+        # 108 cores: 22.06 GPt/s x 4 B/pt over 12 columns
+        assert DEFAULT_COSTS.noc_column_bw == pytest.approx(
+            22.06e9 * 4 / 12, rel=0.01)
+
+    def test_aggregate_is_all_banks(self):
+        c = DEFAULT_COSTS
+        assert c.noc_aggregate_bw == pytest.approx(
+            c.n_dram_banks * c.dram_bank_bw, rel=1e-6)
+
+    def test_memcpy_rate_from_section5(self):
+        assert DEFAULT_COSTS.memcpy_rate == pytest.approx(
+            _TOTAL_BYTES / 0.106, rel=0.01)
+
+    def test_memcpy_call_from_table2(self):
+        # memcpy-only 0.014 GPt/s on 512x512: 18.72 ms/iter for 32768
+        # 64-byte row copies
+        c = DEFAULT_COSTS
+        iter_time = 512 * 512 / 0.014e9
+        calls = 256 * 128          # 256 batches x 128 row copies
+        nbytes = 256 * 4 * 2048    # 4 CB tiles per batch
+        modelled = calls * c.memcpy_call + nbytes / c.memcpy_rate
+        assert modelled == pytest.approx(iter_time, rel=0.05)
+
+    def test_fpu_op_from_table2(self):
+        # compute-only 1.387 GPt/s: 8 tile ops + ~16 CB handshakes per
+        # 1024-point batch
+        c = DEFAULT_COSTS
+        per_batch = 1024 / 1.387e9
+        modelled = 8 * c.fpu_op + 16 * c.cb_op
+        assert modelled == pytest.approx(per_batch, rel=0.05)
+
+    def test_skeleton_from_table2(self):
+        # all-off 7.574 GPt/s => ~135 ns per batch of 1024 points
+        assert DEFAULT_COSTS.core_loop_batch == pytest.approx(
+            1024 / 7.574e9, rel=0.02)
+
+    def test_card_power_range(self):
+        c = DEFAULT_COSTS
+        for n in (1, 8, 54, 108):
+            assert 50.0 <= c.card_power_w(n) <= 55.0
+
+    def test_geometry(self):
+        c = DEFAULT_COSTS
+        assert c.grid_width * c.grid_height == 120
+        assert c.n_worker_cores == 108
+        assert c.n_dram_banks == 8
+        assert c.sram_bytes == 1 << 20
+        assert c.dram_alignment * 8 == 256  # 256-bit rule
+
+
+class TestHelpers:
+    def test_with_overrides(self):
+        c2 = DEFAULT_COSTS.with_overrides(fpu_op=1e-9)
+        assert c2.fpu_op == 1e-9
+        assert DEFAULT_COSTS.fpu_op != 1e-9  # frozen original untouched
+
+    def test_read_request_time_components(self):
+        c = DEFAULT_COSTS
+        base = c.read_request_time(1024)
+        assert c.read_request_time(1024, sync=True) == pytest.approx(
+            base + c.read_latency)
+        assert c.read_request_time(1024, contiguous=False) == pytest.approx(
+            base + c.noncontig_read)
+        assert c.read_request_time(1024, pages=3) > base
+
+    def test_write_request_time_components(self):
+        c = DEFAULT_COSTS
+        base = c.write_request_time(1024)
+        assert c.write_request_time(1024, sync=True) > base
+        assert c.write_request_time(1024, contiguous=False) > base
+
+    def test_memcpy_time_misaligned(self):
+        c = DEFAULT_COSTS
+        assert c.memcpy_time(4096, misaligned=True) > c.memcpy_time(4096)
+
+    def test_replay_cheaper(self):
+        c = DEFAULT_COSTS
+        assert c.read_request_time(16384, replay=True) < \
+            c.read_request_time(16384)

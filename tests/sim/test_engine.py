@@ -1,0 +1,271 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Process, SimulationError, Simulator
+from repro.sim.engine import AllOf, AnyOf, Timeout
+
+
+class TestTimeAdvance:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        def proc():
+            yield sim.timeout(1.5)
+        sim.run(until=sim.process(proc()))
+        assert sim.now == pytest.approx(1.5)
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+        sim.run(until=sim.process(proc()))
+        assert sim.now == pytest.approx(3.0)
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_zero_timeout_allowed(self, sim):
+        def proc():
+            yield sim.timeout(0.0)
+            return "done"
+        assert sim.run(until=sim.process(proc())) == "done"
+
+    def test_run_until_deadline(self, sim):
+        def proc():
+            yield sim.timeout(10.0)
+        sim.process(proc())
+        sim.run(until=3.0)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_run_empty_queue_to_deadline(self, sim):
+        sim.run(until=5.0)
+        assert sim.now == pytest.approx(5.0)
+
+
+class TestProcesses:
+    def test_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return 42
+        assert sim.run(until=sim.process(proc())) == 42
+
+    def test_requires_generator(self, sim):
+        def not_a_gen():
+            return 5
+        with pytest.raises(TypeError, match="generator"):
+            sim.process(not_a_gen)  # type: ignore[arg-type]
+
+    def test_yield_non_event_rejected(self, sim):
+        def proc():
+            yield 42
+        with pytest.raises(SimulationError, match="yield Event"):
+            sim.run(until=sim.process(proc()))
+
+    def test_join_process(self, sim):
+        def child():
+            yield sim.timeout(2)
+            return "child-result"
+
+        def parent():
+            result = yield sim.process(child())
+            return result
+        assert sim.run(until=sim.process(parent())) == "child-result"
+        assert sim.now == pytest.approx(2.0)
+
+    def test_yield_from_composition(self, sim):
+        def helper():
+            yield sim.timeout(1)
+            return 10
+
+        def proc():
+            a = yield from helper()
+            b = yield from helper()
+            return a + b
+        assert sim.run(until=sim.process(proc())) == 20
+        assert sim.now == pytest.approx(2.0)
+
+    def test_crash_without_joiner_surfaces(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="crashed"):
+            sim.run()
+
+    def test_crash_propagates_to_joiner(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        def parent():
+            try:
+                yield sim.process(bad())
+            except ValueError:
+                return "caught"
+        assert sim.run(until=sim.process(parent())) == "caught"
+
+    def test_interrupt(self, sim):
+        def victim():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as e:
+                return f"interrupted:{e.cause}"
+
+        def attacker(v):
+            yield sim.timeout(1)
+            v.interrupt("why")
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        assert sim.run(until=v) == "interrupted:why"
+        assert sim.now == pytest.approx(1.0)
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def quick():
+            yield sim.timeout(0)
+        p = sim.process(quick())
+        sim.run(until=p)
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_concurrent_processes_interleave(self, sim):
+        log = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            log.append((name, sim.now))
+        sim.process(worker("a", 2))
+        sim.process(worker("b", 1))
+        sim.run()
+        assert log == [("b", 1.0), ("a", 2.0)]
+
+
+class TestEvents:
+    def test_manual_succeed(self, sim):
+        ev = sim.event()
+
+        def proc():
+            val = yield ev
+            return val
+        p = sim.process(proc())
+        ev.succeed("hello")
+        assert sim.run(until=p) == "hello"
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_fail_throws_into_waiter(self, sim):
+        ev = sim.event()
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as e:
+                return str(e)
+        p = sim.process(proc())
+        ev.fail(RuntimeError("bad"))
+        assert sim.run(until=p) == "bad"
+
+    def test_value_before_trigger_rejected(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_waiting_on_processed_event(self, sim):
+        """A process that yields an already-processed event resumes."""
+        ev = sim.event()
+        ev.succeed("early")
+        sim.run()  # processes the event
+
+        def proc():
+            val = yield ev
+            return val
+        assert sim.run(until=sim.process(proc())) == "early"
+
+
+class TestConditions:
+    def test_all_of(self, sim):
+        def proc():
+            vals = yield sim.all_of([sim.timeout(1, "a"), sim.timeout(3, "b")])
+            return vals
+        assert sim.run(until=sim.process(proc())) == ["a", "b"]
+        assert sim.now == pytest.approx(3.0)
+
+    def test_all_of_empty(self, sim):
+        def proc():
+            vals = yield sim.all_of([])
+            return vals
+        assert sim.run(until=sim.process(proc())) == []
+
+    def test_any_of(self, sim):
+        def proc():
+            idx, val = yield sim.any_of(
+                [sim.timeout(5, "slow"), sim.timeout(1, "fast")])
+            return idx, val
+        assert sim.run(until=sim.process(proc())) == (1, "fast")
+        assert sim.now == pytest.approx(1.0)
+
+
+class TestDeterminism:
+    def test_fifo_among_simultaneous(self, sim):
+        log = []
+
+        def worker(name):
+            yield sim.timeout(1.0)
+            log.append(name)
+        for name in ("a", "b", "c"):
+            sim.process(worker(name))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_repeatable(self):
+        def build_and_run():
+            s = Simulator()
+            log = []
+
+            def w(n, d):
+                yield s.timeout(d)
+                log.append(n)
+            for i in range(20):
+                s.process(w(i, (i * 7) % 5))
+            s.run()
+            return log
+        assert build_and_run() == build_and_run()
+
+    def test_max_events_guard(self, sim):
+        def forever():
+            while True:
+                yield sim.timeout(1)
+        sim.process(forever())
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_deadlock_detected(self, sim):
+        ev = sim.event()
+
+        def stuck():
+            yield ev
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=sim.process(stuck()))
+
+    def test_events_processed_counter(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            yield sim.timeout(1)
+        sim.run(until=sim.process(proc()))
+        assert sim.events_processed >= 3  # boot + two timeouts
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(2.5)
+        assert sim.peek() == pytest.approx(2.5)

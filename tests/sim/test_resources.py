@@ -1,0 +1,305 @@
+"""Unit + property tests for semaphores, channels, resources, FifoServer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Channel, Mutex, Resource, Semaphore, SimulationError, Simulator
+from repro.sim.resources import FifoServer
+
+
+class TestSemaphore:
+    def test_acquire_available(self, sim):
+        sem = Semaphore(sim, value=2)
+
+        def proc():
+            yield sem.acquire()
+            return sem.value
+        assert sim.run(until=sim.process(proc())) == 1
+
+    def test_acquire_blocks_until_release(self, sim):
+        sem = Semaphore(sim, value=0)
+
+        def waiter():
+            yield sem.acquire()
+            return sim.now
+
+        def releaser():
+            yield sim.timeout(5)
+            sem.release()
+        w = sim.process(waiter())
+        sim.process(releaser())
+        assert sim.run(until=w) == pytest.approx(5.0)
+
+    def test_fifo_fairness(self, sim):
+        sem = Semaphore(sim, value=0)
+        order = []
+
+        def waiter(name):
+            yield sem.acquire()
+            order.append(name)
+        for n in ("a", "b", "c"):
+            sim.process(waiter(n))
+
+        def releaser():
+            for _ in range(3):
+                yield sim.timeout(1)
+                sem.release()
+        sim.process(releaser())
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_no_overtaking_on_big_acquire(self, sim):
+        """A blocked large acquire must not be starved by small ones."""
+        sem = Semaphore(sim, value=0)
+        order = []
+
+        def big():
+            yield sem.acquire(3)
+            order.append("big")
+
+        def small():
+            yield sem.acquire(1)
+            order.append("small")
+        sim.process(big())
+        sim.process(small())
+
+        def releaser():
+            yield sim.timeout(1)
+            sem.release(4)
+        sim.process(releaser())
+        sim.run()
+        assert order == ["big", "small"]
+
+    def test_wait_at_least_nonconsuming(self, sim):
+        sem = Semaphore(sim, value=0)
+
+        def waiter():
+            val = yield sem.wait_at_least(3)
+            return val, sem.value
+        w = sim.process(waiter())
+
+        def releaser():
+            yield sim.timeout(1)
+            sem.release(3)
+        sim.process(releaser())
+        val, after = sim.run(until=w)
+        assert val == 3
+        assert after == 3  # not consumed
+
+    def test_set_value(self, sim):
+        sem = Semaphore(sim, value=5)
+        sem.set_value(1)
+        assert sem.value == 1
+        with pytest.raises(ValueError):
+            sem.set_value(-1)
+
+    def test_bad_counts(self, sim):
+        sem = Semaphore(sim)
+        with pytest.raises(ValueError):
+            sem.acquire(0)
+        with pytest.raises(ValueError):
+            sem.release(0)
+        with pytest.raises(ValueError):
+            Semaphore(sim, value=-1)
+
+
+class TestMutex:
+    def test_exclusion(self, sim):
+        m = Mutex(sim)
+        held = []
+
+        def worker(name):
+            yield m.acquire()
+            held.append(name)
+            assert m.locked
+            yield sim.timeout(1)
+            m.release()
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert held == ["a", "b"]
+        assert not m.locked
+
+    def test_release_unheld_rejected(self, sim):
+        m = Mutex(sim)
+        with pytest.raises(SimulationError):
+            m.release()
+
+
+class TestChannel:
+    def test_put_get(self, sim):
+        ch = Channel(sim)
+
+        def producer():
+            yield ch.put("x")
+
+        def consumer():
+            item = yield ch.get()
+            return item
+        sim.process(producer())
+        c = sim.process(consumer())
+        assert sim.run(until=c) == "x"
+
+    def test_bounded_put_blocks(self, sim):
+        ch = Channel(sim, capacity=1)
+        t_done = []
+
+        def producer():
+            yield ch.put(1)
+            yield ch.put(2)  # blocks until consumer takes
+            t_done.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(4)
+            yield ch.get()
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert t_done == [pytest.approx(4.0)]
+
+    def test_fifo_order(self, sim):
+        ch = Channel(sim)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield ch.put(i)
+
+        def consumer():
+            for _ in range(5):
+                got.append((yield ch.get()))
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Channel(sim, capacity=0)
+
+
+class TestResource:
+    def test_capacity_respected(self, sim):
+        res = Resource(sim, capacity=2)
+        active = []
+        peak = []
+
+        def worker():
+            yield res.request()
+            active.append(1)
+            peak.append(len(active))
+            yield sim.timeout(1)
+            active.pop()
+            res.release()
+        for _ in range(5):
+            sim.process(worker())
+        sim.run()
+        assert max(peak) <= 2
+
+    def test_using_helper(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield from res.using(2.0)
+            return sim.now
+        a = sim.process(worker())
+        b = sim.process(worker())
+        sim.run()
+        assert a.value == pytest.approx(2.0)
+        assert b.value == pytest.approx(4.0)
+
+    def test_over_release_rejected(self, sim):
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+
+class TestFifoServer:
+    def test_single_job_time(self, sim):
+        srv = FifoServer(sim, rate=100.0)
+        ev = srv.submit(50)
+
+        def proc():
+            t = yield ev
+            return t
+        assert sim.run(until=sim.process(proc())) == pytest.approx(0.5)
+
+    def test_jobs_serialize(self, sim):
+        srv = FifoServer(sim, rate=100.0)
+        srv.submit(100)          # busy until t=1
+        ev = srv.submit(100)     # served 1..2
+        sim.run()
+        assert ev.value == pytest.approx(2.0)
+
+    def test_overhead_per_job(self, sim):
+        srv = FifoServer(sim, rate=1e9, overhead=0.1)
+        ev = srv.submit(0, jobs=3)
+        sim.run()
+        assert ev.value == pytest.approx(0.3)
+
+    def test_idle_gap_not_counted(self, sim):
+        srv = FifoServer(sim, rate=100.0)
+
+        def proc():
+            yield srv.submit(100)
+            yield sim.timeout(10)  # idle gap
+            yield srv.submit(100)
+            return sim.now
+        assert sim.run(until=sim.process(proc())) == pytest.approx(12.0)
+        assert srv.busy_time == pytest.approx(2.0)
+
+    def test_stats(self, sim):
+        srv = FifoServer(sim, rate=100.0)
+        srv.submit(30, jobs=2)
+        assert srv.bytes_served == 30
+        assert srv.jobs == 2
+
+    def test_invalid_params(self, sim):
+        with pytest.raises(ValueError):
+            FifoServer(sim, rate=0)
+        with pytest.raises(ValueError):
+            FifoServer(sim, rate=1, overhead=-1)
+        srv = FifoServer(sim, rate=1)
+        with pytest.raises(ValueError):
+            srv.submit(-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(jobs=st.lists(st.integers(min_value=0, max_value=10_000),
+                     min_size=1, max_size=30))
+def test_fifo_server_completion_equals_total_service(jobs):
+    """Back-to-back jobs finish exactly at the sum of their service times."""
+    sim = Simulator()
+    srv = FifoServer(sim, rate=1000.0, overhead=0.001)
+    last = None
+    for j in jobs:
+        last = srv.submit(j)
+    sim.run()
+    expected = sum(0.001 + j / 1000.0 for j in jobs)
+    assert last.value == pytest.approx(expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["acq", "rel"]),
+                              st.integers(1, 3)), max_size=40))
+def test_semaphore_value_never_negative(ops):
+    """Whatever the acquire/release sequence, the value stays >= 0."""
+    sim = Simulator()
+    sem = Semaphore(sim, value=2)
+
+    def driver():
+        for op, n in ops:
+            if op == "acq":
+                ev = sem.acquire(n)
+                # do not wait for it; just ensure the invariant holds
+            else:
+                sem.release(n)
+            assert sem.value >= 0
+            yield sim.timeout(0)
+    sim.process(driver())
+    try:
+        sim.run()
+    except Exception:  # deadlocked acquires are fine for the invariant
+        pass
+    assert sem.value >= 0

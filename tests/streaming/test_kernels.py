@@ -1,0 +1,160 @@
+"""Streaming benchmark tests: functional copy, timing shapes."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import StreamConfig, run_streaming
+from repro.streaming.kernels import _Group, _row_groups
+
+
+class TestConfig:
+    def test_defaults_use_full_row_batches(self):
+        cfg = StreamConfig(rows=16, row_elems=64)
+        assert cfg.read_batch == cfg.row_bytes == 256
+        assert cfg.write_batch == 256
+
+    def test_batch_must_divide_row(self):
+        with pytest.raises(ValueError, match="divide"):
+            StreamConfig(rows=16, row_elems=64, read_batch=100)
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            StreamConfig(rows=16, row_elems=64, read_batch=-4)
+        with pytest.raises(ValueError):
+            StreamConfig(rows=16, row_elems=64, replication=-1)
+        with pytest.raises(ValueError):
+            StreamConfig(rows=16, row_elems=64, n_cores=0)
+
+    def test_totals(self):
+        cfg = StreamConfig(rows=8, row_elems=16)
+        assert cfg.total_bytes == 8 * 64
+
+
+class TestGroups:
+    def test_contiguous_one_group_per_row(self):
+        cfg = StreamConfig(rows=4, row_elems=64, read_batch=64)
+        groups = _row_groups(cfg, 0, 4, 64)
+        assert len(groups) == 4
+        assert groups[0] == _Group(0, 4, 64, 64)
+        assert groups[1].start == 256
+
+    def test_noncontiguous_column_sweep(self):
+        cfg = StreamConfig(rows=4, row_elems=64, contiguous=False)
+        groups = _row_groups(cfg, 0, 4, 64)
+        # batch 64B, row 256B: 4 columns x 1 group of 4 rows each
+        assert len(groups) == 4
+        g = groups[1]
+        assert g.stride == 256 and g.start == 64 and g.n == 4
+
+    def test_groups_cover_all_bytes_once(self):
+        cfg = StreamConfig(rows=8, row_elems=32, contiguous=False)
+        groups = _row_groups(cfg, 0, 8, 32)
+        seen = set()
+        for g in groups:
+            for off, size in g.ranges():
+                for b in range(off, off + size):
+                    assert b not in seen
+                    seen.add(b)
+        assert len(seen) == cfg.total_bytes
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("contiguous", [True, False])
+    def test_dram_to_dram_copy(self, contiguous):
+        cfg = StreamConfig(rows=16, row_elems=128, read_batch=128,
+                           write_batch=128, contiguous=contiguous,
+                           verify=True)
+        assert run_streaming(cfg).verified
+
+    def test_copy_with_interleaving(self):
+        cfg = StreamConfig(rows=16, row_elems=128, page_size=1 << 10,
+                           verify=True)
+        assert run_streaming(cfg).verified
+
+    def test_copy_multicore(self):
+        cfg = StreamConfig(rows=16, row_elems=128, n_cores=4, verify=True)
+        assert run_streaming(cfg).verified
+
+    def test_copy_with_sync(self):
+        cfg = StreamConfig(rows=8, row_elems=64, read_batch=64,
+                           write_batch=64, sync_read=True, sync_write=True,
+                           verify=True)
+        assert run_streaming(cfg).verified
+
+    def test_request_accounting(self):
+        cfg = StreamConfig(rows=8, row_elems=64, read_batch=64)
+        res = run_streaming(cfg)
+        assert res.read_requests == 8 * 4   # 4 batches per 256-byte row
+        assert res.bytes_read == cfg.total_bytes
+        assert res.bytes_written == cfg.total_bytes
+
+    def test_replication_adds_reads(self):
+        base = run_streaming(StreamConfig(rows=8, row_elems=64))
+        repl = run_streaming(StreamConfig(rows=8, row_elems=64,
+                                          replication=2))
+        assert repl.bytes_read > base.bytes_read
+
+
+class TestTimingShapes:
+    """The Section-V lessons, at test scale."""
+
+    def test_smaller_batches_slower(self):
+        t = {}
+        for batch in (1024, 16, 4):
+            cfg = StreamConfig(rows=64, row_elems=256, read_batch=batch)
+            t[batch] = run_streaming(cfg).runtime_s
+        assert t[4] > t[16] > t[1024]
+
+    def test_sync_slower_than_nosync(self):
+        base = StreamConfig(rows=64, row_elems=256, read_batch=16)
+        t_ns = run_streaming(base).runtime_s
+        t_s = run_streaming(StreamConfig(rows=64, row_elems=256,
+                                         read_batch=16,
+                                         sync_read=True)).runtime_s
+        assert t_s > t_ns
+
+    def test_noncontiguous_slower(self):
+        kw = dict(rows=64, row_elems=256, read_batch=16, write_batch=16)
+        t_c = run_streaming(StreamConfig(**kw)).runtime_s
+        t_nc = run_streaming(StreamConfig(contiguous=False, **kw)).runtime_s
+        assert t_nc > t_c
+
+    def test_read_batch_hurts_more_than_write_batch(self):
+        """Table III: 'the impact of the batch size ... is far greater for
+        reading than it is for writing'."""
+        t_read = run_streaming(StreamConfig(rows=64, row_elems=256,
+                                            read_batch=4)).runtime_s
+        t_write = run_streaming(StreamConfig(rows=64, row_elems=256,
+                                             write_batch=4)).runtime_s
+        assert t_read > t_write
+
+    def test_replication_scales_runtime(self):
+        t1 = run_streaming(StreamConfig(rows=64, row_elems=1024)).runtime_s
+        t8 = run_streaming(StreamConfig(rows=64, row_elems=1024,
+                                        replication=7)).runtime_s
+        assert t8 > 3 * t1
+
+    def test_interleaving_helps_under_replication(self):
+        kw = dict(rows=64, row_elems=1024, replication=15)
+        t_single = run_streaming(StreamConfig(**kw)).runtime_s
+        t_inter = run_streaming(StreamConfig(page_size=16 << 10,
+                                             **kw)).runtime_s
+        assert t_inter < t_single
+
+    def test_two_cores_faster_one_bank(self):
+        kw = dict(rows=256, row_elems=1024)
+        t1 = run_streaming(StreamConfig(n_cores=1, **kw)).runtime_s
+        t2 = run_streaming(StreamConfig(n_cores=2, **kw)).runtime_s
+        assert t2 < t1
+
+    def test_scaling_saturates_beyond_two_cores(self):
+        """Table VII: no scaling beyond 2 cores on a shared stream."""
+        kw = dict(rows=256, row_elems=1024)
+        t2 = run_streaming(StreamConfig(n_cores=2, **kw)).runtime_s
+        t8 = run_streaming(StreamConfig(n_cores=8, **kw)).runtime_s
+        assert t8 > 0.6 * t2  # nowhere near 4x faster
+
+    def test_runtime_scales_linearly_in_rows(self):
+        t_small = run_streaming(StreamConfig(rows=64, row_elems=1024)).runtime_s
+        t_big = run_streaming(StreamConfig(rows=256, row_elems=1024)).runtime_s
+        assert t_big == pytest.approx(4 * t_small, rel=0.15)

@@ -1,0 +1,68 @@
+"""Sweep driver tests (reduced problem sizes)."""
+
+import pytest
+
+from repro.streaming import (
+    StreamConfig,
+    sweep_batch_sizes,
+    sweep_multicore,
+    sweep_page_sizes,
+    sweep_replication,
+)
+
+
+@pytest.fixture
+def base():
+    return StreamConfig(rows=32, row_elems=256)
+
+
+class TestBatchSweep:
+    def test_rows_structured(self, base):
+        rows = sweep_batch_sizes(base, [1024, 64], contiguous=True)
+        assert [r.batch_size for r in rows] == [1024, 64]
+        assert rows[0].requests_per_row == 1
+        assert rows[1].requests_per_row == 16
+        for r in rows:
+            for v in (r.read_nosync_s, r.read_sync_s, r.write_nosync_s,
+                      r.write_sync_s):
+                assert v > 0
+
+    def test_sync_at_least_nosync(self, base):
+        for r in sweep_batch_sizes(base, [64, 16]):
+            assert r.read_sync_s >= r.read_nosync_s * 0.99
+            assert r.write_sync_s >= r.write_nosync_s * 0.99
+
+    def test_invalid_batch_rejected(self, base):
+        with pytest.raises(ValueError):
+            sweep_batch_sizes(base, [100])
+
+    def test_noncontiguous_slower_at_small_batches(self, base):
+        c = sweep_batch_sizes(base, [16], contiguous=True)[0]
+        nc = sweep_batch_sizes(base, [16], contiguous=False)[0]
+        assert nc.read_nosync_s > c.read_nosync_s
+
+
+class TestReplicationSweep:
+    def test_monotone(self, base):
+        rows = sweep_replication(base, factors=(1, 2, 4))
+        runtimes = [t for _, t in rows]
+        assert runtimes == sorted(runtimes)
+
+    def test_factor_validates(self, base):
+        with pytest.raises(ValueError):
+            sweep_replication(base, factors=(0,))
+
+
+class TestPageSweep:
+    def test_shape(self, base):
+        rows = sweep_page_sizes(base, page_sizes=[None, 1 << 10],
+                                replications=(0, 2))
+        assert len(rows) == 2
+        assert rows[0][0] is None
+        assert len(rows[0][1]) == 2
+
+    def test_multicore_shape(self, base):
+        rows = sweep_multicore(base, page_sizes=[None], core_counts=(1, 2))
+        assert len(rows) == 1
+        t1, t2 = rows[0][1]
+        assert t2 < t1

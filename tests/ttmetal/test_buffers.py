@@ -1,0 +1,168 @@
+"""Buffer tests: placement, logical addressing, interleave bijection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.device import GrayskullDevice
+from repro.ttmetal.buffers import Buffer, BufferConfig, create_buffer
+
+
+class TestConfig:
+    def test_interleaved_needs_page_size(self):
+        with pytest.raises(ValueError):
+            BufferConfig(size=1024, interleaved=True)
+
+    def test_page_size_only_for_interleaved(self):
+        with pytest.raises(ValueError):
+            BufferConfig(size=1024, page_size=256)
+
+    def test_positive_size(self):
+        with pytest.raises(ValueError):
+            BufferConfig(size=0)
+
+
+class TestSingleBank:
+    def test_locate_single_segment(self, device):
+        buf = create_buffer(device, 4096, bank_id=2)
+        segs = buf.locate(100, 200)
+        assert len(segs) == 1
+        assert segs[0].bank_id == 2
+        assert segs[0].addr == buf.addr + 100
+        assert segs[0].size == 200
+
+    def test_host_roundtrip(self, device, rng):
+        buf = create_buffer(device, 1024)
+        data = rng.integers(0, 256, 1024, dtype=np.uint8)
+        buf.write_host(data)
+        assert np.array_equal(buf.read_host(), data)
+
+    def test_partial_host_access(self, device, rng):
+        buf = create_buffer(device, 1024)
+        data = rng.integers(0, 256, 256, dtype=np.uint8)
+        buf.write_host(data, offset=512)
+        assert np.array_equal(buf.read_host(512, 256), data)
+
+    def test_round_robin_banks(self, device):
+        banks = [create_buffer(device, 64).bank_id for _ in range(8)]
+        assert sorted(banks) == list(range(8))
+
+    def test_noc_coords(self, device):
+        buf = create_buffer(device, 64, bank_id=5)
+        assert device.bank_from_noc_coords(*buf.noc_coords()) == 5
+
+    def test_out_of_range_locate(self, device):
+        buf = create_buffer(device, 128)
+        with pytest.raises(IndexError):
+            buf.locate(100, 100)
+
+    def test_locate_empty(self, device):
+        buf = create_buffer(device, 128)
+        assert buf.locate(64, 0) == []
+
+
+class TestInterleaved:
+    def test_pages_cycle_banks(self, device):
+        buf = create_buffer(device, 8 * 1024, interleaved=True, page_size=1024)
+        assert [buf.page_location(p)[0] for p in range(8)] == list(range(8))
+
+    def test_locate_splits_at_page_boundary(self, device):
+        buf = create_buffer(device, 8 * 1024, interleaved=True, page_size=1024)
+        segs = buf.locate(1000, 100)
+        assert len(segs) == 2
+        assert segs[0].size == 24 and segs[1].size == 76
+        assert segs[0].bank_id != segs[1].bank_id
+
+    def test_locate_within_page(self, device):
+        buf = create_buffer(device, 8 * 1024, interleaved=True, page_size=1024)
+        segs = buf.locate(100, 200)
+        assert len(segs) == 1
+
+    def test_host_roundtrip_interleaved(self, device, rng):
+        buf = create_buffer(device, 5000, interleaved=True, page_size=512)
+        data = rng.integers(0, 256, 5000, dtype=np.uint8)
+        buf.write_host(data)
+        assert np.array_equal(buf.read_host(), data)
+
+    def test_page_location_requires_interleaved(self, device):
+        buf = create_buffer(device, 64)
+        with pytest.raises(ValueError):
+            buf.page_location(0)
+
+    def test_noc_coords_requires_single_bank(self, device):
+        inter = create_buffer(device, 512, interleaved=True, page_size=256)
+        with pytest.raises(ValueError):
+            inter.noc_coords()
+
+
+class TestUniformAccess:
+    def test_gather_contiguous(self, device, rng):
+        buf = create_buffer(device, 1024)
+        data = rng.integers(0, 256, 1024, dtype=np.uint8)
+        buf.write_host(data)
+        got = buf.gather_uniform(0, 4, 256, 256)
+        assert np.array_equal(got, data)
+
+    def test_gather_strided(self, device, rng):
+        buf = create_buffer(device, 1024)
+        data = rng.integers(0, 256, 1024, dtype=np.uint8)
+        buf.write_host(data)
+        got = buf.gather_uniform(0, 4, 64, 256)
+        want = np.concatenate([data[i * 256:i * 256 + 64] for i in range(4)])
+        assert np.array_equal(got, want)
+
+    def test_scatter_contiguous(self, device, rng):
+        buf = create_buffer(device, 1024)
+        data = rng.integers(0, 256, 512, dtype=np.uint8)
+        buf.scatter_uniform(256, 2, 256, 256, data)
+        assert np.array_equal(buf.read_host(256, 512), data)
+
+    def test_scatter_strided(self, device, rng):
+        buf = create_buffer(device, 1024)
+        data = rng.integers(0, 256, 128, dtype=np.uint8)
+        buf.scatter_uniform(0, 2, 64, 512, data)
+        assert np.array_equal(buf.read_host(0, 64), data[:64])
+        assert np.array_equal(buf.read_host(512, 64), data[64:])
+
+    def test_gather_scatter_roundtrip(self, device, rng):
+        buf = create_buffer(device, 2048)
+        payload = rng.integers(0, 256, 256, dtype=np.uint8)
+        buf.scatter_uniform(0, 8, 32, 256, payload)
+        assert np.array_equal(buf.gather_uniform(0, 8, 32, 256), payload)
+
+    def test_uniform_rejects_interleaved(self, device):
+        buf = create_buffer(device, 2048, interleaved=True, page_size=512)
+        with pytest.raises(ValueError):
+            buf.gather_uniform(0, 2, 64, 256)
+
+    def test_uniform_bounds(self, device):
+        buf = create_buffer(device, 512)
+        with pytest.raises(IndexError):
+            buf.gather_uniform(0, 3, 128, 256)
+
+    def test_scatter_size_mismatch(self, device):
+        buf = create_buffer(device, 512)
+        with pytest.raises(ValueError):
+            buf.scatter_uniform(0, 2, 64, 128, np.zeros(100, dtype=np.uint8))
+
+
+@settings(max_examples=40, deadline=None)
+@given(size=st.integers(1, 5000), page=st.sampled_from([64, 256, 1024]),
+       seed=st.integers(0, 999))
+def test_interleaved_addressing_is_a_bijection(size, page, seed):
+    """Write-then-read through the interleaved map is the identity, and
+    distinct logical bytes map to distinct physical locations."""
+    device = GrayskullDevice(dram_bank_capacity=1 << 20)
+    buf = create_buffer(device, size, interleaved=True, page_size=page)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size, dtype=np.uint8)
+    buf.write_host(data)
+    assert np.array_equal(buf.read_host(), data)
+    # physical locations are unique
+    seen = set()
+    for seg in buf.locate(0, size):
+        for b in range(seg.size):
+            key = (seg.bank_id, seg.addr + b)
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,134 @@
+"""Host API tests: program construction, enqueue, PCIe transfers."""
+
+import numpy as np
+import pytest
+
+from repro.arch.tensix import COMPUTE, DATA_MOVER_0, DATA_MOVER_1
+from repro.perfmodel.calibration import DEFAULT_COSTS
+from repro.ttmetal import (
+    CreateCircularBuffer,
+    CreateKernel,
+    EnqueueProgram,
+    EnqueueReadBuffer,
+    EnqueueWriteBuffer,
+    Finish,
+    Program,
+    create_buffer,
+)
+
+
+def _idle(ctx):
+    yield ctx.sim.timeout(1e-6)
+
+
+class TestProgramConstruction:
+    def test_duplicate_slot_rejected(self, device):
+        prog = Program(device)
+        core = device.core(0, 0)
+        CreateKernel(prog, _idle, core, DATA_MOVER_0)
+        with pytest.raises(ValueError, match="already has"):
+            CreateKernel(prog, _idle, core, DATA_MOVER_0)
+
+    def test_unknown_slot_rejected(self, device):
+        prog = Program(device)
+        with pytest.raises(ValueError, match="slot"):
+            CreateKernel(prog, _idle, device.core(0, 0), "bogus")
+
+    def test_storage_core_rejected(self, device):
+        prog = Program(device)
+        storage = device.core(0, 9)
+        assert not storage.is_worker
+        with pytest.raises(ValueError, match="storage-only"):
+            CreateKernel(prog, _idle, storage, DATA_MOVER_0)
+
+    def test_multi_core_kernel_binding(self, device):
+        prog = Program(device)
+        cores = [device.core(x, 0) for x in range(3)]
+        CreateKernel(prog, _idle, cores, DATA_MOVER_0)
+        assert len(prog.kernels) == 3
+        assert len(prog.cores) == 3
+
+    def test_empty_program_rejected(self, device):
+        with pytest.raises(ValueError, match="no kernels"):
+            EnqueueProgram(device, Program(device))
+
+    def test_cb_creation_on_multiple_cores(self, device):
+        prog = Program(device)
+        cores = [device.core(x, 0) for x in range(2)]
+        CreateCircularBuffer(prog, cores, 0, 64, 2)
+        assert all(0 in c.cbs for c in cores)
+
+
+class TestTransfers:
+    def test_write_then_read_roundtrip(self, device, rng):
+        buf = create_buffer(device, 1024)
+        data = rng.integers(0, 256, 1024, dtype=np.uint8)
+        EnqueueWriteBuffer(device, buf, data)
+        assert np.array_equal(EnqueueReadBuffer(device, buf), data)
+
+    def test_transfer_time_charged(self, device):
+        buf = create_buffer(device, 1 << 18)
+        t = EnqueueWriteBuffer(device, buf, np.zeros(1 << 18, dtype=np.uint8))
+        c = DEFAULT_COSTS
+        assert t >= (1 << 18) / c.pcie_bw
+
+    def test_oversized_payload_rejected(self, device):
+        buf = create_buffer(device, 64)
+        with pytest.raises(ValueError, match="exceeds"):
+            EnqueueWriteBuffer(device, buf, np.zeros(128, dtype=np.uint8))
+
+    def test_typed_payload(self, device):
+        buf = create_buffer(device, 64)
+        EnqueueWriteBuffer(device, buf, np.arange(16, dtype=np.uint32))
+        back = EnqueueReadBuffer(device, buf).view(np.uint32)
+        assert np.array_equal(back, np.arange(16, dtype=np.uint32))
+
+
+class TestExecution:
+    def test_finish_reports_duration(self, device):
+        prog = Program(device)
+        CreateKernel(prog, _idle, device.core(0, 0), DATA_MOVER_0)
+        handle = EnqueueProgram(device, prog)
+        t = Finish(device)
+        assert t == pytest.approx(1e-6)
+        assert handle.duration_s == pytest.approx(1e-6)
+
+    def test_duration_before_finish_raises(self, device):
+        prog = Program(device)
+        CreateKernel(prog, _idle, device.core(0, 0), DATA_MOVER_0)
+        handle = EnqueueProgram(device, prog)
+        with pytest.raises(RuntimeError):
+            _ = handle.duration_s
+        Finish(device)
+
+    def test_energy_tracks_program(self, device):
+        prog = Program(device)
+        CreateKernel(prog, _idle, device.core(0, 0), DATA_MOVER_0)
+        EnqueueProgram(device, prog)
+        Finish(device)
+        assert device.energy.energy_j > 0
+        assert device.energy.active_cores == 0  # reset after Finish
+
+    def test_finish_without_programs(self, device):
+        assert Finish(device) == 0.0
+
+    def test_sequential_programs(self, device):
+        for _ in range(2):
+            prog = Program(device)
+            CreateKernel(prog, _idle, device.core(1, 1), DATA_MOVER_1)
+            EnqueueProgram(device, prog)
+            Finish(device)
+        # two sequential 1 us programs
+        assert device.sim.now >= 2e-6
+
+    def test_compute_kernel_slot_gets_compute_ctx(self, device):
+        seen = {}
+
+        def k(ctx):
+            seen["has_fpu"] = hasattr(ctx, "fpu")
+            yield ctx.sim.timeout(0)
+        prog = Program(device)
+        CreateKernel(prog, k, device.core(0, 0), COMPUTE)
+        EnqueueProgram(device, prog)
+        Finish(device)
+        assert seen["has_fpu"]
