@@ -2,6 +2,7 @@
 
 from repro.analysis.metrics import gpt_per_s, ratio, speedup
 from repro.analysis.report import Table, format_seconds, format_si
+from repro.analysis.resilience import FaultEvent, FaultTrace, ResilienceReport
 
-__all__ = ["Table", "format_seconds", "format_si", "gpt_per_s", "ratio",
-           "speedup"]
+__all__ = ["FaultEvent", "FaultTrace", "ResilienceReport", "Table",
+           "format_seconds", "format_si", "gpt_per_s", "ratio", "speedup"]

@@ -1,0 +1,105 @@
+"""Fault-event tracing and resilience reporting.
+
+The fault-injection plane (:mod:`repro.faults`) and the resilient solver
+(:func:`repro.core.solver.solve_resilient`) append :class:`FaultEvent`
+records to a shared :class:`FaultTrace`.  The trace has a *canonical*
+text form (:meth:`FaultTrace.to_text`) so two campaign runs with the same
+seed can be compared byte-for-byte — the deterministic-replay check in CI
+is a literal string comparison of two traces.
+
+:class:`ResilienceReport` renders the campaign outcome as a paper-style
+table: every injected fault, whether it was detected, and how it was
+handled (ECC-corrected, retried, rolled back, remapped, watchdog-killed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.report import Table
+
+__all__ = ["FaultEvent", "FaultTrace", "ResilienceReport"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-plane occurrence: an injection, detection, or recovery.
+
+    ``t`` is simulated seconds for device-level events and ``-1.0`` for
+    solver-iteration-level events (which carry the iteration in ``where``
+    instead) — wall-clock never appears, so traces replay bit-identically.
+    """
+
+    t: float              #: simulated time (or -1.0 for iteration-indexed)
+    kind: str             #: e.g. "dram.bitflip", "noc.delay", "solver.sdc"
+    where: str            #: location: "bank3@0x1200.bit5", "iter17", ...
+    action: str           #: "injected", "detected", "corrected", ...
+    detail: str = ""      #: free-form, but deterministic, extra context
+
+    def to_line(self) -> str:
+        """Canonical one-line rendering (stable across runs)."""
+        parts = [f"t={self.t:.9g}", self.kind, self.where, self.action]
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+@dataclass
+class FaultTrace:
+    """An append-only, deterministic log of fault-plane events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def record(self, t: float, kind: str, where: str, action: str,
+               detail: str = "") -> FaultEvent:
+        ev = FaultEvent(t=float(t), kind=kind, where=where, action=action,
+                        detail=detail)
+        self.events.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def count(self, kind: Optional[str] = None,
+              action: Optional[str] = None) -> int:
+        return sum(1 for e in self.events
+                   if (kind is None or e.kind == kind)
+                   and (action is None or e.action == action))
+
+    def to_text(self) -> str:
+        """Canonical rendering: byte-identical across seeded replays."""
+        return "\n".join(e.to_line() for e in self.events) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_text())
+
+
+class ResilienceReport:
+    """Campaign summary: injections vs. detections vs. recoveries."""
+
+    def __init__(self, title: str = "Fault-injection campaign"):
+        self.title = title
+        self.trace = FaultTrace()
+        self.outcome: Dict[str, str] = {}
+
+    def note(self, key: str, value) -> None:
+        """Attach a headline fact (residual, restarts, solve time, ...)."""
+        self.outcome[key] = str(value)
+
+    def render(self) -> str:
+        by_kind: Dict[str, Dict[str, int]] = {}
+        for ev in self.trace.events:
+            by_kind.setdefault(ev.kind, {}).setdefault(ev.action, 0)
+            by_kind[ev.kind][ev.action] += 1
+        table = Table(self.title, ["fault kind", "action", "count"])
+        for kind in sorted(by_kind):
+            for action in sorted(by_kind[kind]):
+                table.add_row(kind, action, by_kind[kind][action])
+        if not self.trace.events:
+            table.add_row("(none)", "-", 0)
+        lines = [table.render(), ""]
+        for key in sorted(self.outcome):
+            lines.append(f"{key}: {self.outcome[key]}")
+        return "\n".join(lines)

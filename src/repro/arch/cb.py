@@ -71,6 +71,10 @@ class CircularBuffer:
         self._popped = 0     # pages recycled (pop_front)
         self._wait_q: Deque[tuple[int, Event]] = deque()
         self._reserve_q: Deque[tuple[int, Event]] = deque()
+        #: fault injection: a wedged CB stops waking waiters (a hardware
+        #: flow-control lock-up) — producers and consumers hang exactly as
+        #: they would on silicon, until a watchdog intervenes.
+        self.wedged = False
         # Consumer-side read-pointer alias (cb_set_rd_ptr), in L1 address.
         self._rd_alias: Optional[int] = None
         # Producer-side write-pointer alias (cb_set_wr_ptr) — the CB-alias
@@ -232,8 +236,20 @@ class CircularBuffer:
             raise CBError(f"{self.name}: rd_ptr alias must be 2-byte aligned")
         self._rd_alias = l1_addr
 
+    # -- fault injection -------------------------------------------------------
+    def wedge(self) -> None:
+        """Lock up the CB: queued and future waits never complete."""
+        self.wedged = True
+
+    def unwedge(self) -> None:
+        """Release an injected wedge and wake whatever is now satisfiable."""
+        self.wedged = False
+        self._drain()
+
     # -- scheduling ----------------------------------------------------------
     def _drain(self) -> None:
+        if self.wedged:
+            return
         progressed = True
         while progressed:
             progressed = False

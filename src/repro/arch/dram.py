@@ -66,12 +66,73 @@ class DramBank:
         self.unaligned_reads = 0
         self.unaligned_writes = 0
         self.corrupted_writes = 0
+        # -- fault injection / ECC scrub model ---------------------------
+        #: when True, reads scrub injected bit-flips: a single flipped bit
+        #: within one 32-byte ECC word is corrected in place; two or more
+        #: flips in the same word are detected but uncorrectable.
+        self.ecc_enabled = False
+        self._injected_flips: dict[int, set[int]] = {}  # addr -> bit positions
+        self.bit_flips = 0
+        self.ecc_corrected = 0
+        self.ecc_uncorrectable = 0
 
     def _check(self, addr: int, size: int) -> None:
         if addr < 0 or size < 0 or addr + size > self.capacity:
             raise AccessFault(
                 f"bank {self.bank_id}: access [{addr}, {addr + size}) outside "
                 f"capacity {self.capacity}")
+
+    # -- fault injection ---------------------------------------------------
+    def inject_bit_flip(self, addr: int, bit: int) -> None:
+        """Flip one bit of storage (a DRAM soft error).
+
+        The flip is remembered so the ECC model can later correct it: a
+        second flip of the same bit cancels the record (the data really is
+        back to its original value).
+        """
+        self._check(addr, 1)
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index {bit} outside a byte")
+        self.storage[addr] ^= np.uint8(1 << bit)
+        self.bit_flips += 1
+        bits = self._injected_flips.setdefault(addr, set())
+        bits.symmetric_difference_update({bit})
+        if not bits:
+            del self._injected_flips[addr]
+
+    def _scrub(self, addr: int, size: int) -> None:
+        """ECC pass over one read range (called from :meth:`read`).
+
+        Flips are grouped by 32-byte ECC word (the DRAM access alignment):
+        exactly one flipped bit in a word is corrected in place; more than
+        one is uncorrectable — counted and left corrupted, matching
+        SECDED behaviour.
+        """
+        if not self.ecc_enabled or not self._injected_flips:
+            return
+        word = self.costs.dram_alignment
+        touched = [a for a in self._injected_flips if addr <= a < addr + size]
+        by_word: dict[int, list[int]] = {}
+        for a in touched:
+            by_word.setdefault(a // word, []).append(a)
+        for _w, addrs in sorted(by_word.items()):
+            n_bits = sum(len(self._injected_flips[a]) for a in addrs)
+            if n_bits == 1:
+                a = addrs[0]
+                bit = next(iter(self._injected_flips.pop(a)))
+                self.storage[a] ^= np.uint8(1 << bit)
+                self.ecc_corrected += 1
+            else:
+                self.ecc_uncorrectable += 1
+                for a in addrs:
+                    del self._injected_flips[a]
+
+    def _clear_flips(self, addr: int, size: int) -> None:
+        """A write overwrites corrupted bytes, retiring their flip records."""
+        if self._injected_flips:
+            for a in [a for a in self._injected_flips
+                      if addr <= a < addr + size]:
+                del self._injected_flips[a]
 
     # -- functional access (timing handled by the NoC) --------------------
     def read(self, addr: int, size: int) -> np.ndarray:
@@ -88,7 +149,9 @@ class DramBank:
             self.unaligned_reads += 1
             base = addr - (addr % align)
             self._check(base, size)
+            self._scrub(base, size)
             return self.storage[base:base + size].copy()
+        self._scrub(addr, size)
         return self.storage[addr:addr + size].copy()
 
     def write(self, addr: int, data: np.ndarray) -> None:
@@ -97,6 +160,7 @@ class DramBank:
         size = data.size
         self._check(addr, size)
         self.writes += 1
+        self._clear_flips(addr, size)
         align = self.costs.dram_alignment
         if addr % align:
             self.unaligned_writes += 1

@@ -20,8 +20,9 @@ writes land immediately, subject to the alignment rules in
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -73,6 +74,14 @@ class Noc:
         self.dram = dram
         self.costs = costs
         self.stats = NocTransferStats()
+        # -- fault injection: pending one-shot disturbances ----------------
+        # Each entry is ``(kind, delay_s, hook)``; the next transfer whose
+        # completion is assembled consumes the head of the queue.  "delay"
+        # stretches the exposed completion latency; "drop" models a lost
+        # flit retransmission (the latency is paid twice, plus the backoff).
+        self._pending_faults: deque = deque()
+        self.injected_delays = 0
+        self.injected_drops = 0
 
     def new_link(self, name: str) -> FifoServer:
         """A data-mover's private injection link onto this NoC."""
@@ -198,15 +207,47 @@ class Noc:
         bank.last_dir = direction
         return bank.port.submit(nbytes, extra_time=extra)
 
+    # -- fault injection -----------------------------------------------------
+    def inject_fault(self, kind: str, delay_s: float,
+                     hook: Optional[Callable] = None) -> None:
+        """Arm a one-shot disturbance for the next transfer on this NoC.
+
+        ``kind`` is ``"delay"`` (the completion latency stretches by
+        ``delay_s``) or ``"drop"`` (a lost transaction: the exposed latency
+        is paid a second time for the retransmission, plus ``delay_s``).
+        ``hook(kind, extra_s, t)`` is called when the fault is consumed.
+        """
+        if kind not in ("delay", "drop"):
+            raise ValueError(f"unknown NoC fault kind {kind!r}")
+        if delay_s < 0:
+            raise ValueError("fault delay must be non-negative")
+        self._pending_faults.append((kind, float(delay_s), hook))
+
+    def _consume_fault(self, latency: float) -> float:
+        """Extra completion latency from the next armed fault, if any."""
+        if not self._pending_faults:
+            return 0.0
+        kind, delay_s, hook = self._pending_faults.popleft()
+        if kind == "drop":
+            self.injected_drops += 1
+            extra = latency + delay_s   # retransmit: pay the latency again
+        else:
+            self.injected_delays += 1
+            extra = delay_s
+        if hook is not None:
+            hook(kind, extra, self.sim.now)
+        return extra
+
     def _completion(self, done_events: Iterable[Event],
                     latency: float) -> Event:
         """Completion = all bookings drained + exposed latency."""
         events = list(done_events)
         ev = self.sim.event(name=f"noc{self.noc_id}.done")
         gate = self.sim.all_of(events)
+        total_latency = latency + self._consume_fault(latency)
 
         def _fire(_g):
-            ev.succeed(delay=latency)
+            ev.succeed(delay=total_latency)
 
         gate.add_callback(_fire)
         return ev

@@ -15,14 +15,14 @@ Programmer-visible structure (paper Fig. 1):
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.arch.cb import CircularBuffer
 from repro.arch.fpu import Fpu
 from repro.arch.noc import Noc
 from repro.arch.sram import Sram
 from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
-from repro.sim import Simulator
+from repro.sim import Event, Simulator
 from repro.sim.resources import FifoServer, Semaphore
 
 __all__ = ["TensixCore", "DATA_MOVER_0", "DATA_MOVER_1", "COMPUTE"]
@@ -62,6 +62,10 @@ class TensixCore:
         #: accumulated blocking time (CB waits, semaphores, NoC barriers).
         self.stall_time: Dict[str, float] = {
             DATA_MOVER_0: 0.0, DATA_MOVER_1: 0.0, COMPUTE: 0.0}
+        # -- fault injection: hung kernel slots / whole-core failure -------
+        self.hung_slots: Set[str] = set()
+        self.failed = False
+        self._hang_events: Dict[str, Event] = {}
 
     @property
     def coord(self) -> tuple[int, int]:
@@ -90,6 +94,39 @@ class TensixCore:
     def allocate_l1(self, size: int, align: int = 32) -> int:
         """Host-side L1 scratch allocation (local read buffers etc.)."""
         return self.sram.allocate(size, align=align)
+
+    # -- fault injection -----------------------------------------------------
+    def inject_hang(self, slot: str) -> None:
+        """Hang one kernel slot: its next API call blocks forever.
+
+        The kernel process strands on a named, never-firing event so the
+        watchdog in :func:`repro.ttmetal.host.Finish` can report the core
+        and interrupt the process via :meth:`repro.sim.Process.interrupt`.
+        """
+        if slot not in self.busy_time:
+            raise ValueError(f"unknown kernel slot {slot!r}")
+        self.hung_slots.add(slot)
+
+    def fail_core(self) -> None:
+        """Whole-core failure: every kernel slot hangs."""
+        self.failed = True
+        self.hung_slots.update(self.busy_time)
+
+    def hang_gate(self, slot: str) -> Optional[Event]:
+        """The never-firing event a hung slot's kernel must wait on.
+
+        Returns ``None`` while the slot is healthy.  The event is shared by
+        every kernel on the slot and carries a descriptive name, which is
+        what the watchdog's per-core stall report prints.
+        """
+        if slot not in self.hung_slots:
+            return None
+        ev = self._hang_events.get(slot)
+        if ev is None:
+            ev = Event(self.sim,
+                       name=f"core{self.x},{self.y}.{slot}.hang-injected")
+            self._hang_events[slot] = ev
+        return ev
 
     def describe(self) -> str:
         """Text rendering of the core's structure (regenerates paper Fig. 1)."""

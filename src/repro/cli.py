@@ -7,6 +7,7 @@ Commands
 ``table``    regenerate one of the paper's tables (I..VIII)
 ``figures``  regenerate the paper's figures as text
 ``profile``  run the optimised kernel and print the busy/stall profile
+``faults``   run a seeded fault-injection campaign (or the watchdog demo)
 
 Examples::
 
@@ -15,6 +16,9 @@ Examples::
     python -m repro table 3 --quick
     python -m repro stream --read-batch 64 --sync-read
     python -m repro profile --variant initial
+    python -m repro faults --seed 7 --dram-flips 3 --core-failures 1
+    python -m repro faults --replay-check
+    python -m repro faults --hang-demo
 """
 
 from __future__ import annotations
@@ -79,6 +83,30 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--variant", default="optimized",
                     choices=["initial", "write_opt", "double_buffered",
                              "optimized"])
+
+    f = sub.add_parser("faults",
+                       help="run a seeded fault-injection campaign")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--nx", type=int, default=64)
+    f.add_argument("--ny", type=int, default=64)
+    f.add_argument("--iterations", type=int, default=64)
+    f.add_argument("--cores", default="2x2", help="core grid as YxX")
+    f.add_argument("--dram-flips", type=int, default=3,
+                   help="device-phase DRAM soft errors (ECC-scrubbed)")
+    f.add_argument("--noc-faults", type=int, default=2)
+    f.add_argument("--pcie-corruptions", type=int, default=1)
+    f.add_argument("--solver-flips", type=int, default=2,
+                   help="uncorrectable strikes on solver state")
+    f.add_argument("--core-failures", type=int, default=1)
+    f.add_argument("--checkpoint-every", type=int, default=8)
+    f.add_argument("--no-ecc", action="store_true",
+                   help="disable the DRAM ECC scrub model")
+    f.add_argument("--trace-out", default=None,
+                   help="write the canonical fault trace to this file")
+    f.add_argument("--replay-check", action="store_true",
+                   help="run the campaign twice and diff the traces")
+    f.add_argument("--hang-demo", action="store_true",
+                   help="inject a kernel hang and show the Finish watchdog")
     return p
 
 
@@ -191,6 +219,38 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import CampaignConfig, run_campaign, run_hang_demo
+    if args.hang_demo:
+        err = run_hang_demo(seed=args.seed)
+        print("watchdog fired:")
+        print(err)
+        return 0
+    cy, _, cx = args.cores.partition("x")
+    cfg = CampaignConfig(
+        seed=args.seed, nx=args.nx, ny=args.ny,
+        iterations=args.iterations, cores=(int(cy), int(cx or 1)),
+        dram_flips=args.dram_flips, noc_faults=args.noc_faults,
+        pcie_corruptions=args.pcie_corruptions,
+        solver_flips=args.solver_flips, core_failures=args.core_failures,
+        checkpoint_every=args.checkpoint_every, ecc=not args.no_ecc)
+    report = run_campaign(cfg)
+    if args.replay_check:
+        replay = run_campaign(cfg)
+        if replay.trace.to_text() != report.trace.to_text():
+            print("REPLAY MISMATCH: traces differ between identical runs")
+            return 1
+        print(f"replay check: {len(report.trace)} trace events, "
+              "byte-identical")
+    print(report.render())
+    if args.trace_out:
+        report.trace.write(args.trace_out)
+        # status, not report content: keep stdout byte-comparable across
+        # runs that write their traces to different paths
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -199,6 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "stream": _cmd_stream,
         "profile": _cmd_profile,
+        "faults": _cmd_faults,
     }[args.command]
     return handler(args)
 

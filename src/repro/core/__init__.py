@@ -19,7 +19,8 @@
 from repro.core.grid import AlignedDomain, LaplaceProblem
 from repro.core.jacobi_sram import SramJacobiRunner
 from repro.core.refinement import solve_defect_correction
-from repro.core.solver import JacobiResult, JacobiSolver
+from repro.core.solver import (JacobiResult, JacobiSolver, ResilienceConfig,
+                               ResilientJacobiResult, solve_resilient)
 from repro.core.stencil import StencilRunner, StencilSpec
 
 __all__ = [
@@ -27,8 +28,11 @@ __all__ = [
     "JacobiResult",
     "JacobiSolver",
     "LaplaceProblem",
+    "ResilienceConfig",
+    "ResilientJacobiResult",
     "SramJacobiRunner",
     "StencilRunner",
     "StencilSpec",
     "solve_defect_correction",
+    "solve_resilient",
 ]

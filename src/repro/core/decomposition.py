@@ -28,6 +28,7 @@ __all__ = [
     "split_extent",
     "split_domain",
     "SubDomain",
+    "remap_failed",
 ]
 
 
@@ -188,3 +189,34 @@ def split_domain(nx: int, ny: int, cores_y: int, cores_x: int
     return [[SubDomain(iy, ix, y0, x0, h, w)
              for ix, (x0, w) in enumerate(xs)]
             for iy, (y0, h) in enumerate(ys)]
+
+
+def remap_failed(grid: List[List[SubDomain]],
+                 failed) -> dict[tuple[int, int], tuple[int, int]]:
+    """Reassign failed cores' sub-domains to surviving cores.
+
+    ``grid`` is a :func:`split_domain` result; ``failed`` an iterable of
+    ``(iy, ix)`` decomposition coordinates.  Returns
+    ``{failed_coord: survivor_coord}``.  The assignment is deterministic:
+    failed coordinates are processed in sorted order, each going to the
+    survivor with (1) the lowest accumulated element load, (2) the
+    smallest Manhattan distance, (3) the smallest coordinate — so a
+    degraded run replays identically.  Raises ``ValueError`` when every
+    core failed.
+    """
+    owners = {(s.iy, s.ix): s for row in grid for s in row}
+    failed_set = {tuple(f) for f in failed}
+    for f in failed_set:
+        if f not in owners:
+            raise ValueError(f"unknown decomposition coordinate {f}")
+    survivors = sorted(k for k in owners if k not in failed_set)
+    if not survivors:
+        raise ValueError("no surviving cores to remap onto")
+    load = {k: owners[k].ny * owners[k].nx for k in survivors}
+    assignment: dict[tuple[int, int], tuple[int, int]] = {}
+    for f in sorted(failed_set):
+        best = min(survivors, key=lambda k: (
+            load[k], abs(k[0] - f[0]) + abs(k[1] - f[1]), k))
+        assignment[f] = best
+        load[best] += owners[f].ny * owners[f].nx
+    return assignment

@@ -25,17 +25,21 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.resilience import FaultTrace
 from repro.arch.device import GrayskullDevice
+from repro.core.decomposition import remap_failed, split_domain
 from repro.core.grid import LaplaceProblem
 from repro.core.jacobi_initial import InitialConfig, InitialJacobiRunner
 from repro.core.jacobi_optimized import OptimizedConfig, OptimizedJacobiRunner
 from repro.core.multicore import run_multicard_functional, run_multicore_functional
+from repro.cpu.jacobi import jacobi_step_bf16, residual_f32
 from repro.cpu.openmp import CpuJacobiRunner
 from repro.dtypes.bf16 import bits_to_f32
 from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
 from repro.perfmodel.scaling import JacobiScalingModel
 
-__all__ = ["JacobiSolver", "JacobiResult"]
+__all__ = ["JacobiSolver", "JacobiResult", "ResilienceConfig",
+           "ResilientJacobiResult", "solve_resilient"]
 
 #: DES is used up to this many cores under ``backend="auto"``.
 _DES_CORE_LIMIT = 8
@@ -203,3 +207,179 @@ class JacobiSolver:
             grid_f32=grid, backend="e150-model", variant=self.variant,
             cores=self.cores, n_cards=self.n_cards, iterations=iterations,
             time_s=perf.solve_time_s, gpts=perf.gpts, energy_j=perf.energy_j)
+
+
+# -- resilient execution: SDC detection, checkpoint/restart, remap ----------
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for :func:`solve_resilient`."""
+
+    checkpoint_every: int = 16      #: iterations between state snapshots
+    residual_jump_factor: float = 8.0  #: residual growth that flags SDC
+    range_slack: float = 1e-6       #: tolerance on the max-principle bounds
+    max_restarts: int = 8           #: give up after this many rollbacks
+
+    def __post_init__(self):
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.residual_jump_factor <= 1.0:
+            raise ValueError("residual_jump_factor must exceed 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+
+
+@dataclass(frozen=True)
+class ResilientJacobiResult:
+    """Outcome of a fault-tolerant solve."""
+
+    grid_f32: np.ndarray
+    cores: tuple[int, int]
+    iterations: int                 #: useful sweeps delivered
+    executed_sweeps: int            #: total sweeps incl. rollback replays
+    weighted_sweeps: float          #: sweeps scaled by degraded-mode load
+    restarts: int
+    detected_sdc: int
+    failed_cores: tuple             #: decomposition coords that died
+    degraded_factor: float          #: final per-iteration slowdown (>= 1)
+    residual: float
+    time_s: float
+    trace: FaultTrace
+
+    @property
+    def interior(self) -> np.ndarray:
+        return self.grid_f32[1:-1, 1:-1]
+
+
+def _degraded_factor(grid, failed, assignment) -> float:
+    """Per-iteration slowdown: busiest survivor vs. the healthy maximum."""
+    owners = {(s.iy, s.ix): s for row in grid for s in row}
+    base = max(s.ny * s.nx for s in owners.values())
+    load = {k: s.ny * s.nx for k, s in owners.items() if k not in failed}
+    for f, survivor in assignment.items():
+        load[survivor] += owners[f].ny * owners[f].nx
+    return max(load.values()) / base
+
+
+def solve_resilient(problem: LaplaceProblem, iterations: int, *,
+                    cores: tuple[int, int] = (1, 1),
+                    faults=None,
+                    config: Optional[ResilienceConfig] = None,
+                    trace: Optional[FaultTrace] = None,
+                    costs: CostModel = DEFAULT_COSTS) -> ResilientJacobiResult:
+    """Jacobi with silent-data-corruption detection and checkpoint/restart.
+
+    Runs the bit-exact BF16 sweep (the device-functional model) while a
+    :class:`~repro.faults.plan.FaultPlan` — or any object with ``solver``
+    (:class:`SolverBitFlip`) and ``core_failures`` (:class:`CoreFailure`)
+    sequences — injects state corruption and core deaths at iteration
+    granularity:
+
+    * After every sweep, two detectors run: the discrete-maximum-principle
+      **range check** (any interior value outside the boundary extrema is
+      impossible for a correct Jacobi iterate) and a **residual-jump
+      check** (the residual growing by ``residual_jump_factor`` over its
+      best-seen value).  A detection rolls the state back to the last
+      checkpoint; the rewrite scrubs the corruption, so each injected flip
+      is consumed exactly once and the replayed sweeps run clean.
+    * A core failure permanently removes a decomposition cell; its
+      sub-domain is remapped onto the least-loaded survivor
+      (:func:`repro.core.decomposition.remap_failed`) and every later
+      sweep pays the degraded load factor.  The functional answer is
+      unchanged (the survivor computes the same block); only timing
+      degrades.
+
+    Timing comes from the Tier-2 scaling model, scaled by the *weighted*
+    sweep count (replays + degradation), so the reported solve time
+    reflects the cost of resilience, deterministically.
+    """
+    cfg = config or ResilienceConfig()
+    log = trace if trace is not None else FaultTrace()
+    cy, cx = cores
+    nx, ny = problem.nx, problem.ny
+    flips: dict[int, list] = {}
+    failures: dict[int, list] = {}
+    for flip in getattr(faults, "solver", ()) or ():
+        if not (0 <= flip.row < ny and 0 <= flip.col < nx):
+            raise ValueError(f"flip target ({flip.row},{flip.col}) outside "
+                             f"the {ny}x{nx} interior")
+        flips.setdefault(flip.iteration, []).append(flip)
+    for death in getattr(faults, "core_failures", ()) or ():
+        failures.setdefault(death.iteration, []).append(death)
+
+    grid = split_domain(nx, ny, cy, cx)
+    failed: set[tuple[int, int]] = set()
+    factor = 1.0
+
+    bits = problem.initial_grid_bf16()
+    lo, hi = problem.boundary_extrema()
+    eps = cfg.range_slack * max(1.0, abs(lo), abs(hi))
+    best_res = residual_f32(bits_to_f32(bits))
+    ckpt_it, ckpt_bits = 0, bits.copy()
+    it = 0
+    executed = 0
+    weighted = 0.0
+    restarts = 0
+    detected = 0
+
+    while it < iterations:
+        # Core deaths fire once (dead cores stay dead through rollbacks).
+        for death in failures.pop(it, []):
+            failed.add((death.iy, death.ix))
+            log.record(-1.0, "core.failure",
+                       f"iter{it}.core({death.iy},{death.ix})", "injected")
+            assignment = remap_failed(grid, failed)
+            factor = _degraded_factor(grid, failed, assignment)
+            log.record(-1.0, "core.failure",
+                       f"iter{it}.core({death.iy},{death.ix})", "remapped",
+                       f"to({assignment[(death.iy, death.ix)][0]},"
+                       f"{assignment[(death.iy, death.ix)][1]})."
+                       f"load={factor:.9g}")
+
+        bits = jacobi_step_bf16(bits)
+        executed += 1
+        weighted += factor
+
+        # One-shot corruption: the post-rollback replay runs clean because
+        # the checkpoint rewrite scrubbed the flipped bits.
+        for flip in flips.pop(it, []):
+            bits[1 + flip.row, 1 + flip.col] ^= np.uint16(1 << flip.bit)
+            log.record(-1.0, "solver.bitflip",
+                       f"iter{it}.({flip.row},{flip.col}).bit{flip.bit}",
+                       "injected")
+        it += 1
+
+        u = bits_to_f32(bits)
+        interior = u[1:-1, 1:-1]
+        res = residual_f32(u)
+        bad_range = (not np.isfinite(interior).all()
+                     or bool((interior < lo - eps).any())
+                     or bool((interior > hi + eps).any()))
+        jumped = res > best_res * cfg.residual_jump_factor + 1e-30
+        if bad_range or jumped:
+            detected += 1
+            why = "range" if bad_range else "residual"
+            log.record(-1.0, "solver.sdc", f"iter{it - 1}", "detected", why)
+            restarts += 1
+            if restarts > cfg.max_restarts:
+                raise RuntimeError(
+                    f"solver gave up after {restarts} restarts "
+                    f"({detected} corruption(s) detected)")
+            bits = ckpt_bits.copy()
+            it = ckpt_it
+            log.record(-1.0, "solver.sdc", f"iter{ckpt_it}", "rolled-back")
+            continue
+        best_res = min(best_res, res)
+        if it % cfg.checkpoint_every == 0 and it < iterations:
+            ckpt_it, ckpt_bits = it, bits.copy()
+            log.record(-1.0, "solver.checkpoint", f"iter{it}", "saved")
+
+    perf = JacobiScalingModel(costs).run(nx, ny, iterations, cy, cx)
+    time_s = perf.solve_time_s * (weighted / iterations)
+    final = bits_to_f32(bits)
+    return ResilientJacobiResult(
+        grid_f32=final, cores=cores, iterations=iterations,
+        executed_sweeps=executed, weighted_sweeps=weighted,
+        restarts=restarts, detected_sdc=detected,
+        failed_cores=tuple(sorted(failed)), degraded_factor=factor,
+        residual=residual_f32(final), time_s=time_s, trace=log)

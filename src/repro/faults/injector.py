@@ -1,0 +1,109 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to a simulated device.
+
+``FaultInjector.install()`` attaches itself as ``device.fault_injector``
+(the hook the host enqueue operations probe for PCIe corruption) and
+schedules every device-level fault at its planned *simulated* time via
+:class:`~repro.sim.Timeout` callbacks — injection order is part of the
+event heap, so replays are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.resilience import FaultTrace
+from repro.arch.device import GrayskullDevice
+from repro.faults.plan import (DramBitFlip, FaultPlan, KernelHang, NocFault,
+                               PcieCorruption)
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Arms a plan's device-level faults and logs them to a trace."""
+
+    def __init__(self, device: GrayskullDevice, plan: FaultPlan,
+                 trace: Optional[FaultTrace] = None, ecc: bool = False):
+        self.device = device
+        self.plan = plan
+        self.trace = trace if trace is not None else FaultTrace()
+        self.ecc = ecc
+        self._pcie_by_index: Dict[int, PcieCorruption] = {
+            c.index: c for c in plan.pcie}
+        self._pcie_seen = 0
+        self._installed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        """Register on the device and schedule the timed faults."""
+        if self._installed:
+            raise RuntimeError("injector already installed")
+        self._installed = True
+        self.device.fault_injector = self  # type: ignore[attr-defined]
+        if self.ecc:
+            for bank in self.device.dram.banks:
+                bank.ecc_enabled = True
+        sim = self.device.sim
+        for flip in self.plan.dram:
+            sim.timeout(flip.t).add_callback(
+                lambda _e, f=flip: self._apply_dram(f))
+        for fault in self.plan.noc:
+            sim.timeout(fault.t).add_callback(
+                lambda _e, f=fault: self._apply_noc(f))
+        for hang in self.plan.hangs:
+            sim.timeout(hang.t).add_callback(
+                lambda _e, h=hang: self._apply_hang(h))
+        return self
+
+    def uninstall(self) -> None:
+        if getattr(self.device, "fault_injector", None) is self:
+            self.device.fault_injector = None  # type: ignore[attr-defined]
+
+    # -- timed device faults ----------------------------------------------
+    def _apply_dram(self, flip: DramBitFlip) -> None:
+        bank = self.device.dram.bank(flip.bank_id)
+        addr = flip.addr % bank.capacity
+        bank.inject_bit_flip(addr, flip.bit)
+        self.trace.record(self.device.sim.now, "dram.bitflip",
+                          f"bank{flip.bank_id}@{addr:#x}.bit{flip.bit}",
+                          "injected")
+
+    def _apply_noc(self, fault: NocFault) -> None:
+        noc = self.device.noc0 if fault.noc_id == 0 else self.device.noc1
+
+        def consumed(kind: str, extra_s: float, t: float) -> None:
+            self.trace.record(t, f"noc.{kind}", f"noc{fault.noc_id}",
+                              "consumed", f"extra={extra_s:.9g}")
+
+        noc.inject_fault(fault.kind, fault.delay_s, hook=consumed)
+        self.trace.record(self.device.sim.now, f"noc.{fault.kind}",
+                          f"noc{fault.noc_id}", "armed",
+                          f"delay={fault.delay_s:.9g}")
+
+    def _apply_hang(self, hang: KernelHang) -> None:
+        x, y = hang.core
+        self.device.core(x, y).inject_hang(hang.slot)
+        self.trace.record(self.device.sim.now, "kernel.hang",
+                          f"core{x},{y}.{hang.slot}", "injected")
+
+    # -- host-transfer hooks (called by Enqueue{Write,Read}Buffer) --------
+    def corrupt_pcie(self, nbytes: int) -> Optional[Tuple[int, int]]:
+        """Per-transfer corruption decision; ``None`` means clean.
+
+        Each call is one transfer attempt (retries count), matched against
+        the plan's transfer indices.
+        """
+        idx = self._pcie_seen
+        self._pcie_seen += 1
+        hit = self._pcie_by_index.get(idx)
+        if hit is None:
+            return None
+        self.trace.record(self.device.sim.now, "pcie.corruption",
+                          f"transfer{idx}", "injected",
+                          f"byte={hit.byte % max(1, nbytes)}.bit{hit.bit}")
+        return (hit.byte, hit.bit)
+
+    def record_pcie_retry(self, attempt: int, delay_s: float) -> None:
+        self.trace.record(self.device.sim.now, "pcie.corruption",
+                          f"attempt{attempt}", "retried",
+                          f"backoff={delay_s:.9g}")

@@ -1,0 +1,199 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is the single source of truth for every injected
+fault in a campaign: DRAM bit-flips, NoC disturbances, kernel hangs,
+PCIe transfer corruption, solver-state bit-flips and whole-core failures.
+Plans are frozen value objects generated from one integer seed via
+``random.Random`` — sim time and iteration indices only, never
+wall-clock — so replaying a plan reproduces the campaign bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+from typing import Tuple
+
+__all__ = [
+    "DramBitFlip",
+    "NocFault",
+    "KernelHang",
+    "PcieCorruption",
+    "SolverBitFlip",
+    "CoreFailure",
+    "FaultPlan",
+]
+
+#: bf16 bit positions whose flip is guaranteed detectable for fields in
+#: [0, 1]: the top exponent bit turns any such value into >= 2.0 (or inf),
+#: violating the discrete-maximum-principle range check.
+_DETECTABLE_BIT = 14
+
+
+@dataclass(frozen=True)
+class DramBitFlip:
+    """One DRAM soft error at simulated time ``t``."""
+
+    t: float
+    bank_id: int
+    addr: int
+    bit: int            #: 0..7 within the byte
+
+
+@dataclass(frozen=True)
+class NocFault:
+    """A one-shot NoC disturbance armed at simulated time ``t``."""
+
+    t: float
+    noc_id: int         #: 0 or 1
+    kind: str           #: "delay" or "drop"
+    delay_s: float
+
+
+@dataclass(frozen=True)
+class KernelHang:
+    """Wedge one kernel slot of one core at simulated time ``t``."""
+
+    t: float
+    core: Tuple[int, int]
+    slot: str           #: dm0 / dm1 / compute
+
+
+@dataclass(frozen=True)
+class PcieCorruption:
+    """Corrupt the ``index``-th host<->DRAM transfer (0-based)."""
+
+    index: int
+    byte: int           #: byte offset (taken modulo the transfer size)
+    bit: int            #: 0..7
+
+
+@dataclass(frozen=True)
+class SolverBitFlip:
+    """Flip one bit of one interior BF16 element after ``iteration``."""
+
+    iteration: int
+    row: int            #: interior row (0-based)
+    col: int            #: interior column (0-based)
+    bit: int            #: 0..15 in the BF16 pattern
+
+
+@dataclass(frozen=True)
+class CoreFailure:
+    """Decomposition core ``(iy, ix)`` dies after ``iteration``."""
+
+    iteration: int
+    iy: int
+    ix: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything a campaign will inject, as immutable tuples."""
+
+    seed: int
+    dram: Tuple[DramBitFlip, ...] = ()
+    noc: Tuple[NocFault, ...] = ()
+    hangs: Tuple[KernelHang, ...] = ()
+    pcie: Tuple[PcieCorruption, ...] = ()
+    solver: Tuple[SolverBitFlip, ...] = ()
+    core_failures: Tuple[CoreFailure, ...] = ()
+
+    @classmethod
+    def generate(cls, seed: int, *,
+                 n_dram_flips: int = 0,
+                 n_noc_faults: int = 0,
+                 n_hangs: int = 0,
+                 n_pcie: int = 0,
+                 n_solver_flips: int = 0,
+                 n_core_failures: int = 0,
+                 horizon_s: float = 1e-3,
+                 n_banks: int = 8,
+                 bank_bytes: int = 1 << 20,
+                 grid: Tuple[int, int] = (12, 9),
+                 iterations: int = 100,
+                 interior: Tuple[int, int] = (64, 64),
+                 cores: Tuple[int, int] = (1, 1),
+                 pcie_transfers: int = 8) -> "FaultPlan":
+        """Draw a plan from one seed (``random.Random``, no wall-clock).
+
+        ``horizon_s`` bounds device-level fault times; ``interior`` is the
+        solver's ``(ny, nx)``; ``cores`` its decomposition.  Solver flips
+        target the top exponent bit so each is detectable by the solver's
+        range check — campaigns that want silent low-bit flips construct
+        :class:`SolverBitFlip` entries directly.
+        """
+        rng = random.Random(seed)
+        ny, nx = interior
+        cy, cx = cores
+        dram = tuple(sorted(
+            (DramBitFlip(t=rng.uniform(0.0, horizon_s),
+                         bank_id=rng.randrange(n_banks),
+                         addr=rng.randrange(bank_bytes),
+                         bit=rng.randrange(8))
+             for _ in range(n_dram_flips)),
+            key=lambda f: (f.t, f.bank_id, f.addr)))
+        noc = tuple(sorted(
+            (NocFault(t=rng.uniform(0.0, horizon_s),
+                      noc_id=rng.randrange(2),
+                      kind=rng.choice(("delay", "drop")),
+                      delay_s=rng.uniform(0.0, horizon_s / 10))
+             for _ in range(n_noc_faults)),
+            key=lambda f: (f.t, f.noc_id)))
+        hangs = tuple(sorted(
+            (KernelHang(t=rng.uniform(0.0, horizon_s),
+                        core=(rng.randrange(grid[0]),
+                              rng.randrange(max(1, grid[1] - 1))),
+                        slot=rng.choice(("dm0", "dm1", "compute")))
+             for _ in range(n_hangs)),
+            key=lambda f: (f.t, f.core)))
+        pcie = tuple(sorted(
+            {rng.randrange(pcie_transfers) for _ in range(n_pcie)}))
+        pcie = tuple(PcieCorruption(index=i, byte=rng.randrange(1 << 16),
+                                    bit=rng.randrange(8)) for i in pcie)
+        solver = tuple(sorted(
+            (SolverBitFlip(iteration=rng.randrange(max(1, iterations)),
+                           row=rng.randrange(ny), col=rng.randrange(nx),
+                           bit=_DETECTABLE_BIT)
+             for _ in range(n_solver_flips)),
+            key=lambda f: (f.iteration, f.row, f.col)))
+        failures = []
+        seen = set()
+        while len(failures) < min(n_core_failures, cy * cx - 1):
+            iy, ix = rng.randrange(cy), rng.randrange(cx)
+            if (iy, ix) in seen:
+                continue
+            seen.add((iy, ix))
+            failures.append(CoreFailure(
+                iteration=rng.randrange(max(1, iterations)), iy=iy, ix=ix))
+        failures.sort(key=lambda f: (f.iteration, f.iy, f.ix))
+        return cls(seed=seed, dram=dram, noc=noc, hangs=hangs, pcie=pcie,
+                   solver=solver, core_failures=tuple(failures))
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def n_faults(self) -> int:
+        return (len(self.dram) + len(self.noc) + len(self.hangs)
+                + len(self.pcie) + len(self.solver)
+                + len(self.core_failures))
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (stable key order)."""
+        def row(obj):
+            return {f.name: getattr(obj, f.name) for f in fields(obj)}
+        return {
+            "seed": self.seed,
+            "dram": [row(f) for f in self.dram],
+            "noc": [row(f) for f in self.noc],
+            "hangs": [row(f) for f in self.hangs],
+            "pcie": [row(f) for f in self.pcie],
+            "solver": [row(f) for f in self.solver],
+            "core_failures": [row(f) for f in self.core_failures],
+        }
+
+    def describe(self) -> str:
+        return (f"FaultPlan(seed={self.seed}): "
+                f"{len(self.dram)} DRAM flip(s), {len(self.noc)} NoC "
+                f"fault(s), {len(self.hangs)} hang(s), {len(self.pcie)} "
+                f"PCIe corruption(s), {len(self.solver)} solver flip(s), "
+                f"{len(self.core_failures)} core failure(s)")

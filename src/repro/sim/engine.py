@@ -47,6 +47,24 @@ class Interrupt(Exception):
 _PENDING = object()
 
 
+def _check_delay(delay: float) -> float:
+    """Validate a trigger delay: a non-negative real number.
+
+    ``succeed`` and ``fail`` share this so both reject ``None`` (which used
+    to be silently coerced to ``0.0`` by ``fail`` while crashing
+    ``succeed``) and negative delays (which would move time backwards).
+    """
+    if delay is None:
+        raise ValueError("delay must be a number, not None")
+    try:
+        d = float(delay)
+    except (TypeError, ValueError):
+        raise ValueError(f"delay must be a real number, got {delay!r}") from None
+    if d < 0:
+        raise ValueError(f"negative trigger delay {delay!r}")
+    return d
+
+
 class Event:
     """A one-shot occurrence in simulated time.
 
@@ -94,6 +112,7 @@ class Event:
         """Trigger the event successfully, scheduling callbacks ``delay`` from now."""
         if self.triggered:
             raise SimulationError(f"event {self!r} already triggered")
+        delay = _check_delay(delay)
         self._value = value
         self._ok = True
         self.sim._schedule(self, delay)
@@ -105,9 +124,10 @@ class Event:
             raise SimulationError(f"event {self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
+        delay = _check_delay(delay)
         self._value = exception
         self._ok = False
-        self.sim._schedule(self, 0.0 if delay is None else delay)
+        self.sim._schedule(self, delay)
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -151,7 +171,7 @@ class Process(Event):
     can be joined with ``result = yield some_process``.
     """
 
-    __slots__ = ("generator", "_waiting_on")
+    __slots__ = ("generator", "_waiting_on", "_wait_since")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -161,6 +181,8 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self._waiting_on: Optional[Event] = None
+        self._wait_since: float = sim.now
+        sim._register_process(self)
         # Kick off at the current time.
         boot = Event(sim, name=f"boot:{self.name}")
         boot._value = None
@@ -212,6 +234,7 @@ class Process(Event):
         if target.sim is not self.sim:
             raise SimulationError("yielded event belongs to a different simulator")
         self._waiting_on = target
+        self._wait_since = self.sim.now
         target.add_callback(self._resume)
 
 
@@ -227,10 +250,14 @@ class _Condition(Event):
         if not self.events:
             self.succeed([])
             return
-        for ev in self.events:
-            ev.add_callback(self._check)
+        # Each constituent gets its own callback carrying its position, so
+        # the same Event object may appear more than once (and the firing
+        # index is O(1), not an ``events.index`` scan that would always
+        # report the first duplicate).
+        for idx, ev in enumerate(self.events):
+            ev.add_callback(lambda e, idx=idx: self._check(e, idx))
 
-    def _check(self, ev: Event) -> None:  # pragma: no cover - overridden
+    def _check(self, ev: Event, idx: int) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
 
@@ -242,7 +269,7 @@ class AllOf(_Condition):
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, events, name="all_of")
 
-    def _check(self, ev: Event) -> None:
+    def _check(self, ev: Event, idx: int) -> None:
         if self.triggered:
             return
         if not ev._ok:
@@ -261,13 +288,13 @@ class AnyOf(_Condition):
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, events, name="any_of")
 
-    def _check(self, ev: Event) -> None:
+    def _check(self, ev: Event, idx: int) -> None:
         if self.triggered:
             return
         if not ev._ok:
             self.fail(ev._value)
             return
-        self.succeed((self.events.index(ev), ev._value))
+        self.succeed((idx, ev._value))
 
 
 class Simulator:
@@ -278,7 +305,44 @@ class Simulator:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._crashed: list[tuple[Process, BaseException]] = []
+        self._processes: list[Process] = []
         self.events_processed = 0
+
+    # -- process registry -------------------------------------------------
+    def _register_process(self, proc: "Process") -> None:
+        """Track live processes so deadlock reports can name them."""
+        self._processes.append(proc)
+        if len(self._processes) % 256 == 0:
+            self._processes = [p for p in self._processes if p.is_alive]
+
+    def stranded_processes(self) -> list["Process"]:
+        """Processes that are still alive (useful after a deadlock)."""
+        self._processes = [p for p in self._processes if p.is_alive]
+        return list(self._processes)
+
+    def _deadlock_report(self, stop_event: "Event", limit: int = 16) -> str:
+        """Actionable deadlock diagnostic: who is stranded, waiting on what.
+
+        This is what makes watchdog reports useful: instead of only a
+        stranded-event count, each live process is listed with the event it
+        is ``_waiting_on`` and the simulated time it started waiting.
+        """
+        stranded = self.stranded_processes()
+        head = (f"run(until={stop_event!r}) deadlocked at t={self.now:g}s "
+                f"with {len(self._queue)} stranded events and "
+                f"{len(stranded)} stranded processes")
+        lines = [head]
+        for proc in stranded[:limit]:
+            target = proc._waiting_on
+            if target is None:
+                what = "nothing (never resumed)"
+            else:
+                what = target.name or repr(target)
+            lines.append(f"  - process {proc.name!r} waiting on {what} "
+                         f"since t={proc._wait_since:g}s")
+        if len(stranded) > limit:
+            lines.append(f"  ... and {len(stranded) - limit} more")
+        return "\n".join(lines)
 
     # -- factories --------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -351,9 +415,7 @@ class Simulator:
 
         if stop_event is not None:
             if not stop_event.triggered:
-                raise SimulationError(
-                    f"run(until={stop_event!r}) deadlocked at t={self.now:g}s "
-                    f"with {len(self._queue)} stranded events")
+                raise SimulationError(self._deadlock_report(stop_event))
             if not stop_event._ok:
                 raise stop_event._value
             return stop_event._value

@@ -16,13 +16,16 @@ against:
 
 from repro.ttmetal.buffers import Buffer, BufferConfig, create_buffer
 from repro.ttmetal.host import (
+    CoreStall,
     CreateCircularBuffer,
     CreateKernel,
     CreateSemaphore,
+    DeviceHangError,
     EnqueueProgram,
     EnqueueReadBuffer,
     EnqueueWriteBuffer,
     Finish,
+    PcieTransferError,
     Program,
 )
 from repro.ttmetal.kernel_api import ComputeCtx, DataMoverCtx
@@ -31,14 +34,17 @@ __all__ = [
     "Buffer",
     "BufferConfig",
     "ComputeCtx",
+    "CoreStall",
     "CreateCircularBuffer",
     "CreateKernel",
     "CreateSemaphore",
     "DataMoverCtx",
+    "DeviceHangError",
     "EnqueueProgram",
     "EnqueueReadBuffer",
     "EnqueueWriteBuffer",
     "Finish",
+    "PcieTransferError",
     "Program",
     "create_buffer",
 ]

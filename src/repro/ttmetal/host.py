@@ -27,13 +27,16 @@ import numpy as np
 
 from repro.arch.device import GrayskullDevice
 from repro.arch.tensix import COMPUTE, DATA_MOVER_0, DATA_MOVER_1, TensixCore
-from repro.sim import Process
+from repro.sim import Process, SimulationError
 from repro.ttmetal.buffers import Buffer
 from repro.ttmetal.kernel_api import ComputeCtx, DataMoverCtx
 
 __all__ = [
     "Program",
     "ProgramHandle",
+    "CoreStall",
+    "DeviceHangError",
+    "PcieTransferError",
     "CreateKernel",
     "CreateCircularBuffer",
     "CreateSemaphore",
@@ -42,6 +45,48 @@ __all__ = [
     "EnqueueProgram",
     "Finish",
 ]
+
+#: default retry budget for host↔DRAM transfers on detected corruption.
+PCIE_MAX_RETRIES = 4
+
+
+@dataclass(frozen=True)
+class CoreStall:
+    """One stalled kernel process in a watchdog report."""
+
+    core: tuple                 #: (x, y) coordinate of the Tensix core
+    slot: str                   #: dm0 / dm1 / compute
+    kernel: str                 #: process name
+    waiting_on: str             #: name of the event the process is blocked on
+    since_s: float              #: simulated time the wait started
+
+    def describe(self) -> str:
+        return (f"core {self.core}/{self.slot}: {self.kernel} waiting on "
+                f"{self.waiting_on} since t={self.since_s:g}s")
+
+
+class DeviceHangError(SimulationError):
+    """``Finish(device, timeout_s=...)``'s watchdog fired.
+
+    Carries a structured per-core stall report (:attr:`stalls`) naming
+    every kernel process that had not completed when the simulated
+    timeout expired, and what each was waiting on.
+    """
+
+    def __init__(self, stalls: List[CoreStall], t: float, timeout_s: float):
+        self.stalls = list(stalls)
+        self.t = t
+        self.timeout_s = timeout_s
+        cores = sorted({s.core for s in self.stalls})
+        lines = [f"device hang: {len(self.stalls)} kernel process(es) on "
+                 f"core(s) {cores} still stalled after "
+                 f"{timeout_s:g}s (t={t:g}s)"]
+        lines += [f"  - {s.describe()}" for s in self.stalls]
+        super().__init__("\n".join(lines))
+
+
+class PcieTransferError(RuntimeError):
+    """A host↔DRAM transfer kept failing its integrity check after retries."""
 
 KernelFn = Callable[..., object]  # generator function taking a ctx
 
@@ -62,6 +107,8 @@ class ProgramHandle:
     processes: List[Process]
     t_start: float
     t_end: Optional[float] = None
+    #: kernel specs aligned with :attr:`processes` (for stall reports).
+    kernel_specs: Optional[List[_KernelSpec]] = None
 
     @property
     def duration_s(self) -> float:
@@ -129,30 +176,92 @@ def CreateSemaphore(program: Program,
         c.create_semaphore(sem_id, initial)
 
 
+def _pcie_corruption(device: GrayskullDevice,
+                     nbytes: int) -> Optional[tuple[int, int]]:
+    """Ask the installed fault injector (if any) whether this transfer is
+    corrupted; returns ``(byte_offset, bit)`` or ``None``."""
+    injector = getattr(device, "fault_injector", None)
+    if injector is None:
+        return None
+    return injector.corrupt_pcie(nbytes)
+
+
+def _pcie_backoff(device: GrayskullDevice, attempt: int) -> None:
+    """Exponential backoff between transfer retries, in simulated time."""
+    delay = device.costs.pcie_latency * (2 ** attempt)
+    injector = getattr(device, "fault_injector", None)
+    if injector is not None:
+        injector.record_pcie_retry(attempt, delay)
+    device.sim.run(until=device.sim.timeout(delay))
+
+
 def EnqueueWriteBuffer(device: GrayskullDevice, buf: Buffer,
-                       data: np.ndarray, blocking: bool = True) -> float:
-    """Host → DRAM transfer over PCIe; returns the transfer time."""
+                       data: np.ndarray, blocking: bool = True,
+                       max_retries: int = PCIE_MAX_RETRIES) -> float:
+    """Host → DRAM transfer over PCIe; returns the transfer time.
+
+    If an installed fault injector corrupts the transfer, the host-side
+    integrity check (modelling the link CRC) detects it and the transfer
+    is retried with exponential backoff — up to ``max_retries`` times,
+    after which :class:`PcieTransferError` is raised.  Non-blocking
+    transfers cannot be verified and keep their corruption.
+    """
     payload = np.ascontiguousarray(data)
     if payload.nbytes > buf.size:
         raise ValueError(
             f"payload of {payload.nbytes} B exceeds buffer of {buf.size} B")
-    buf.write_host(payload)
-    ev = device.pcie.submit(payload.nbytes)
     t0 = device.sim.now
-    if blocking:
-        device.sim.run(until=ev)
+    attempt = 0
+    while True:
+        corruption = _pcie_corruption(device, payload.nbytes)
+        if corruption is None:
+            buf.write_host(payload)
+        else:
+            bad = payload.view(np.uint8).ravel().copy()
+            off, bit = corruption
+            bad[off % bad.size] ^= np.uint8(1 << bit)
+            buf.write_host(bad)
+        ev = device.pcie.submit(payload.nbytes)
+        if blocking:
+            device.sim.run(until=ev)
+        if corruption is None or not blocking:
+            break
+        attempt += 1
+        if attempt > max_retries:
+            raise PcieTransferError(
+                f"host→DRAM transfer of {payload.nbytes} B failed its "
+                f"integrity check {attempt} times")
+        _pcie_backoff(device, attempt)
     return device.sim.now - t0
 
 
 def EnqueueReadBuffer(device: GrayskullDevice, buf: Buffer,
                       offset: int = 0, size: Optional[int] = None,
-                      blocking: bool = True) -> np.ndarray:
-    """DRAM → host transfer over PCIe; returns the bytes."""
-    out = buf.read_host(offset, size)
-    ev = device.pcie.submit(out.nbytes)
-    if blocking:
-        device.sim.run(until=ev)
-    return out
+                      blocking: bool = True,
+                      max_retries: int = PCIE_MAX_RETRIES) -> np.ndarray:
+    """DRAM → host transfer over PCIe; returns the bytes.
+
+    Injected transfer corruption is detected by the host CRC check and
+    re-read with exponential backoff, like the write path.
+    """
+    attempt = 0
+    while True:
+        out = buf.read_host(offset, size)
+        corruption = _pcie_corruption(device, out.nbytes)
+        if corruption is not None:
+            off, bit = corruption
+            out[off % out.size] ^= np.uint8(1 << bit)
+        ev = device.pcie.submit(out.nbytes)
+        if blocking:
+            device.sim.run(until=ev)
+        if corruption is None or not blocking:
+            return out
+        attempt += 1
+        if attempt > max_retries:
+            raise PcieTransferError(
+                f"DRAM→host transfer of {out.nbytes} B failed its "
+                f"integrity check {attempt} times")
+        _pcie_backoff(device, attempt)
 
 
 def _make_ctx(spec: _KernelSpec, device: GrayskullDevice):
@@ -176,27 +285,103 @@ def EnqueueProgram(device: GrayskullDevice, program: Program) -> ProgramHandle:
         procs.append(device.sim.process(gen, name=name))
     device.energy.set_active_cores(len(program.cores))
     handle = ProgramHandle(program=program, processes=procs,
-                           t_start=device.sim.now)
+                           t_start=device.sim.now,
+                           kernel_specs=list(program.kernels))
     if not hasattr(device, "_pending_programs"):
         device._pending_programs = []  # type: ignore[attr-defined]
     device._pending_programs.append(handle)  # type: ignore[attr-defined]
     return handle
 
 
+def _stall_report(pending: List[ProgramHandle]) -> List[CoreStall]:
+    """Per-core stall report over every still-alive kernel process."""
+    stalls: List[CoreStall] = []
+    for handle in pending:
+        specs = handle.kernel_specs or [None] * len(handle.processes)
+        for proc, spec in zip(handle.processes, specs):
+            if not proc.is_alive:
+                continue
+            target = proc._waiting_on
+            waiting = (target.name or repr(target)) if target is not None \
+                else "(never resumed)"
+            stalls.append(CoreStall(
+                core=spec.core.coord if spec is not None else (-1, -1),
+                slot=spec.slot if spec is not None else "?",
+                kernel=proc.name,
+                waiting_on=waiting,
+                since_s=proc._wait_since))
+    return stalls
+
+
+def _abort_hung(device: GrayskullDevice, pending: List[ProgramHandle],
+                timeout_s: float) -> None:
+    """Watchdog action: interrupt stranded kernels, raise the hang report."""
+    stalls = _stall_report(pending)
+    for handle in pending:
+        for proc in handle.processes:
+            if proc.is_alive:
+                # Join the process first so its (intentional) death is not
+                # reported as an unhandled crash, then interrupt it.
+                proc.add_callback(lambda _e: None)
+                proc.interrupt(cause="watchdog")
+    # Drain the interrupt pokes so the kernel generators unwind now.
+    try:
+        device.sim.run(max_events=100_000)
+    except SimulationError:  # pragma: no cover - defensive
+        pass
+    device._pending_programs = []  # type: ignore[attr-defined]
+    device.energy.set_active_cores(0)
+    raise DeviceHangError(stalls, t=device.sim.now, timeout_s=timeout_s)
+
+
 def Finish(device: GrayskullDevice,
-           max_events: Optional[int] = None) -> float:
+           max_events: Optional[int] = None,
+           timeout_s: Optional[float] = None) -> float:
     """Run the device until all enqueued programs complete.
 
     Returns the wall time since the earliest unfinished program started.
+
+    ``timeout_s`` arms a watchdog: if any kernel process is still alive
+    after that much *simulated* time (or the simulation deadlocks before
+    then), every stranded process is interrupted (via
+    :meth:`repro.sim.Process.interrupt`) and :class:`DeviceHangError` is
+    raised with a per-core stall report.
     """
     pending: List[ProgramHandle] = getattr(device, "_pending_programs", [])
     if not pending:
         return 0.0
     t0 = min(h.t_start for h in pending)
+    if timeout_s is None:
+        for handle in pending:
+            for proc in handle.processes:
+                device.sim.run(until=proc, max_events=max_events)
+            handle.t_end = device.sim.now
+        device._pending_programs = []  # type: ignore[attr-defined]
+        device.energy.set_active_cores(0)
+        return device.sim.now - t0
+
+    sim = device.sim
+    procs = [p for h in pending for p in h.processes]
+    gate = sim.all_of(procs)
+    deadline = sim.timeout(timeout_s)
+    race = sim.any_of([gate, deadline])
+    try:
+        idx, _ = sim.run(until=race, max_events=max_events)
+    except SimulationError as exc:
+        if "deadlock" in str(exc):
+            # The queue drained with kernels stranded before the deadline:
+            # a hard hang — same watchdog action, reported immediately.
+            _abort_hung(device, pending, timeout_s)
+        raise
+    except BaseException as exc:
+        crashed = [p for p in procs if p.triggered and not p._ok]
+        name = crashed[0].name if crashed else "<unknown>"
+        raise SimulationError(
+            f"process {name!r} crashed at t={sim.now:g}s") from exc
+    if idx == 1:  # the deadline beat the kernels
+        _abort_hung(device, pending, timeout_s)
     for handle in pending:
-        for proc in handle.processes:
-            device.sim.run(until=proc, max_events=max_events)
-        handle.t_end = device.sim.now
+        handle.t_end = sim.now
     device._pending_programs = []  # type: ignore[attr-defined]
     device.energy.set_active_cores(0)
-    return device.sim.now - t0
+    return sim.now - t0

@@ -80,8 +80,21 @@ class _CtxBase:
     def my_y(self) -> int:
         return self.core.y
 
+    def _hang_check(self):
+        """Strand the kernel if a hang was injected on this slot (generator).
+
+        Checked at every API boundary, so a hang injected mid-transfer
+        takes effect at the kernel's next call — like a baby core whose
+        instruction stream wedged.
+        """
+        gate = self.core.hang_gate(self.slot)
+        if gate is not None:
+            yield gate  # never fires; only Process.interrupt can free us
+
     def _elapse(self, seconds: float):
         """Charge busy time to this baby core (generator)."""
+        if self.core.hung_slots:
+            yield from self._hang_check()
         if seconds > 0:
             self.core.busy_time[self.slot] += seconds
             t0 = self.sim.now
@@ -93,6 +106,8 @@ class _CtxBase:
 
     def _block(self, event):
         """Wait on an event, accounting the time as a stall (generator)."""
+        if self.core.hung_slots:
+            yield from self._hang_check()
         t0 = self.sim.now
         result = yield event
         self.core.stall_time[self.slot] += self.sim.now - t0

@@ -1,0 +1,145 @@
+"""Device-level injection: DRAM flips + ECC, NoC disturbances, hangs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.resilience import FaultTrace
+from repro.arch.noc import ReadJob
+from repro.faults import DramBitFlip, FaultInjector, FaultPlan, NocFault
+
+
+class TestDramBitFlips:
+    def test_flip_corrupts_storage(self, device):
+        bank = device.dram.bank(0)
+        bank.write(0, np.zeros(64, dtype=np.uint8))
+        bank.inject_bit_flip(5, 3)
+        assert bank.read(0, 64)[5] == 1 << 3
+        assert bank.bit_flips == 1
+
+    def test_ecc_corrects_single_flip_on_read(self, device):
+        bank = device.dram.bank(0)
+        bank.ecc_enabled = True
+        bank.write(0, np.full(64, 0xAB, dtype=np.uint8))
+        bank.inject_bit_flip(10, 2)
+        data = bank.read(0, 64)
+        assert data[10] == 0xAB          # scrubbed before the copy
+        assert bank.ecc_corrected == 1
+        # and the correction is persistent
+        assert bank.read(0, 64)[10] == 0xAB
+        assert bank.ecc_corrected == 1
+
+    def test_ecc_double_flip_same_word_uncorrectable(self, device):
+        bank = device.dram.bank(0)
+        bank.ecc_enabled = True
+        bank.write(0, np.zeros(64, dtype=np.uint8))
+        bank.inject_bit_flip(4, 0)       # both inside ECC word 0 (32 B)
+        bank.inject_bit_flip(9, 1)
+        data = bank.read(0, 64)
+        assert bank.ecc_uncorrectable == 1
+        assert bank.ecc_corrected == 0
+        assert data[4] == 1 and data[9] == 2   # left corrupted
+
+    def test_ecc_flips_in_distinct_words_both_corrected(self, device):
+        bank = device.dram.bank(0)
+        bank.ecc_enabled = True
+        bank.write(0, np.zeros(128, dtype=np.uint8))
+        bank.inject_bit_flip(4, 0)       # word 0
+        bank.inject_bit_flip(40, 1)      # word 1
+        data = bank.read(0, 128)
+        assert bank.ecc_corrected == 2
+        assert not data.any()
+
+    def test_write_retires_flip_records(self, device):
+        bank = device.dram.bank(0)
+        bank.ecc_enabled = True
+        bank.inject_bit_flip(4, 0)
+        bank.write(0, np.zeros(32, dtype=np.uint8))   # overwrite
+        assert not bank.read(0, 32).any()
+        assert bank.ecc_corrected == 0   # nothing left to correct
+
+    def test_double_flip_same_bit_cancels(self, device):
+        bank = device.dram.bank(0)
+        bank.ecc_enabled = True
+        bank.write(0, np.zeros(32, dtype=np.uint8))
+        bank.inject_bit_flip(4, 0)
+        bank.inject_bit_flip(4, 0)       # flips back: data is correct again
+        data = bank.read(0, 32)
+        assert not data.any()
+        assert bank.ecc_corrected == 0   # no record left to "correct"
+
+    def test_flip_validation(self, device):
+        bank = device.dram.bank(0)
+        with pytest.raises(ValueError):
+            bank.inject_bit_flip(0, 8)
+
+
+class TestNocFaults:
+    def _timed_read(self, device, noc, nbytes=1024):
+        link = noc.new_link("t")
+        t0 = device.sim.now
+        ev = noc.read_burst(link, [ReadJob(bank_id=0, addr=0, size=nbytes)])
+        device.sim.run(until=ev)
+        return device.sim.now - t0
+
+    def test_delay_stretches_completion(self, device):
+        baseline = self._timed_read(device, device.noc0)
+        device.noc0.inject_fault("delay", 1e-5)
+        assert self._timed_read(device, device.noc0) == \
+            pytest.approx(baseline + 1e-5)
+        assert device.noc0.injected_delays == 1
+
+    def test_drop_pays_latency_twice(self, device):
+        baseline = self._timed_read(device, device.noc0)
+        device.noc0.inject_fault("drop", 0.0)
+        retrans = self._timed_read(device, device.noc0)
+        assert retrans == pytest.approx(
+            baseline + device.costs.read_latency)
+        assert device.noc0.injected_drops == 1
+
+    def test_fault_is_one_shot(self, device):
+        baseline = self._timed_read(device, device.noc0)
+        device.noc0.inject_fault("delay", 1e-5)
+        self._timed_read(device, device.noc0)
+        assert self._timed_read(device, device.noc0) == \
+            pytest.approx(baseline)
+
+    def test_unknown_kind_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.noc0.inject_fault("corrupt", 0.0)
+
+
+class TestInjectorScheduling:
+    def test_timed_faults_apply_at_their_times(self, device):
+        plan = FaultPlan(seed=0, dram=(
+            DramBitFlip(t=1e-5, bank_id=0, addr=100, bit=0),))
+        trace = FaultTrace()
+        FaultInjector(device, plan, trace=trace).install()
+        device.sim.run(until=2e-5)
+        assert device.dram.bank(0).bit_flips == 1
+        [ev] = trace.events
+        assert ev.kind == "dram.bitflip"
+        assert ev.t == pytest.approx(1e-5)
+
+    def test_noc_arming_and_consumption_traced(self, device):
+        plan = FaultPlan(seed=0, noc=(
+            NocFault(t=0.0, noc_id=0, kind="delay", delay_s=1e-6),))
+        trace = FaultTrace()
+        FaultInjector(device, plan, trace=trace).install()
+        device.sim.run(until=1e-9)
+        link = device.noc0.new_link("t")
+        ev = device.noc0.read_burst(link, [ReadJob(0, 0, 256)])
+        device.sim.run(until=ev)
+        actions = [e.action for e in trace.events]
+        assert actions == ["armed", "consumed"]
+
+    def test_install_twice_rejected(self, device):
+        inj = FaultInjector(device, FaultPlan(seed=0))
+        inj.install()
+        with pytest.raises(RuntimeError):
+            inj.install()
+
+    def test_uninstall_detaches(self, device):
+        inj = FaultInjector(device, FaultPlan(seed=0)).install()
+        assert device.fault_injector is inj
+        inj.uninstall()
+        assert device.fault_injector is None

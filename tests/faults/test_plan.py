@@ -1,0 +1,72 @@
+"""FaultPlan generation: seeded, deterministic, replayable."""
+
+import pytest
+
+from repro.faults import (CoreFailure, FaultPlan, PcieCorruption,
+                          SolverBitFlip)
+
+
+class TestGeneration:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(n_dram_flips=5, n_noc_faults=3, n_hangs=2, n_pcie=2,
+                      n_solver_flips=4, n_core_failures=2, cores=(3, 3))
+        assert FaultPlan.generate(42, **kwargs) == \
+            FaultPlan.generate(42, **kwargs)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.generate(1, n_dram_flips=10)
+        b = FaultPlan.generate(2, n_dram_flips=10)
+        assert a.dram != b.dram
+
+    def test_counts(self):
+        plan = FaultPlan.generate(0, n_dram_flips=4, n_noc_faults=3,
+                                  n_hangs=2, n_solver_flips=5,
+                                  n_core_failures=2, cores=(2, 2))
+        assert len(plan.dram) == 4
+        assert len(plan.noc) == 3
+        assert len(plan.hangs) == 2
+        assert len(plan.solver) == 5
+        assert len(plan.core_failures) == 2
+
+    def test_core_failures_never_kill_every_core(self):
+        plan = FaultPlan.generate(3, n_core_failures=10, cores=(2, 2))
+        assert len(plan.core_failures) <= 3
+        assert len({(f.iy, f.ix) for f in plan.core_failures}) == \
+            len(plan.core_failures)
+
+    def test_times_within_horizon(self):
+        plan = FaultPlan.generate(9, n_dram_flips=20, horizon_s=1e-3)
+        assert all(0.0 <= f.t <= 1e-3 for f in plan.dram)
+
+    def test_solver_flips_inside_interior(self):
+        plan = FaultPlan.generate(5, n_solver_flips=20, interior=(16, 48),
+                                  iterations=10)
+        for f in plan.solver:
+            assert 0 <= f.row < 16
+            assert 0 <= f.col < 48
+            assert 0 <= f.iteration < 10
+
+    def test_plan_is_frozen(self):
+        plan = FaultPlan.generate(0)
+        with pytest.raises(AttributeError):
+            plan.seed = 1  # type: ignore[misc]
+
+    def test_to_dict_round_trips_fields(self):
+        plan = FaultPlan(seed=1,
+                         pcie=(PcieCorruption(index=2, byte=7, bit=3),),
+                         solver=(SolverBitFlip(iteration=4, row=1, col=2,
+                                               bit=14),),
+                         core_failures=(CoreFailure(iteration=9, iy=0,
+                                                    ix=1),))
+        d = plan.to_dict()
+        assert d["seed"] == 1
+        assert d["pcie"] == [{"index": 2, "byte": 7, "bit": 3}]
+        assert d["solver"][0]["iteration"] == 4
+        assert d["core_failures"][0] == {"iteration": 9, "iy": 0, "ix": 1}
+
+    def test_describe_mentions_counts(self):
+        plan = FaultPlan.generate(0, n_dram_flips=2, n_solver_flips=1)
+        text = plan.describe()
+        assert "2 DRAM flip(s)" in text
+        assert "1 solver flip(s)" in text
+        assert plan.n_faults == 3

@@ -1,0 +1,170 @@
+"""Resilient solver: SDC detection, checkpoint/restart, degraded mode."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.resilience import FaultTrace
+from repro.core.decomposition import remap_failed, split_domain
+from repro.core.grid import LaplaceProblem
+from repro.core.solver import ResilienceConfig, solve_resilient
+from repro.cpu.jacobi import jacobi_solve_bf16, residual_f32
+from repro.faults import (CampaignConfig, CoreFailure, FaultPlan,
+                          SolverBitFlip, run_campaign)
+
+
+@pytest.fixture
+def problem():
+    return LaplaceProblem(nx=32, ny=32)
+
+
+class TestFaultFree:
+    def test_matches_plain_bf16_sweep(self, problem):
+        res = solve_resilient(problem, 20)
+        oracle = jacobi_solve_bf16(problem.initial_grid_bf16(), 20)
+        np.testing.assert_array_equal(
+            res.grid_f32.view(np.uint32) >> 16, oracle)
+        assert res.restarts == 0
+        assert res.executed_sweeps == 20
+        assert res.time_s > 0
+
+    def test_residual_decreases(self, problem):
+        early = solve_resilient(problem, 5)
+        late = solve_resilient(problem, 80)
+        assert late.residual < early.residual
+
+
+class TestSdcDetection:
+    def test_flip_detected_and_rolled_back(self, problem):
+        plan = FaultPlan(seed=0, solver=(
+            SolverBitFlip(iteration=10, row=5, col=5, bit=14),))
+        res = solve_resilient(problem, 30, faults=plan,
+                              config=ResilienceConfig(checkpoint_every=8))
+        assert res.detected_sdc == 1
+        assert res.restarts == 1
+        # replayed sweeps: rolled back from iteration 11 to checkpoint 8
+        assert res.executed_sweeps == 30 + (11 - 8)
+
+    def test_final_answer_identical_to_fault_free(self, problem):
+        """Rollback + clean replay must erase the corruption entirely."""
+        plan = FaultPlan(seed=0, solver=(
+            SolverBitFlip(iteration=3, row=1, col=1, bit=14),
+            SolverBitFlip(iteration=17, row=8, col=20, bit=14),))
+        faulty = solve_resilient(problem, 40, faults=plan)
+        clean = solve_resilient(problem, 40)
+        np.testing.assert_array_equal(faulty.grid_f32, clean.grid_f32)
+        assert faulty.detected_sdc == 2
+
+    def test_converges_under_faults(self, problem):
+        plan = FaultPlan(seed=0, solver=tuple(
+            SolverBitFlip(iteration=i * 11, row=3 + i, col=7, bit=14)
+            for i in range(4)))
+        res = solve_resilient(problem, 120, faults=plan,
+                              config=ResilienceConfig(max_restarts=10))
+        assert res.detected_sdc == 4
+        assert res.residual < 5e-3          # converging despite the strikes
+        lo, hi = problem.boundary_extrema()
+        assert res.interior.min() >= lo - 1e-6
+        assert res.interior.max() <= hi + 1e-6
+
+    def test_every_fault_recorded_in_trace(self, problem):
+        plan = FaultPlan(seed=0, solver=(
+            SolverBitFlip(iteration=5, row=2, col=2, bit=14),))
+        trace = FaultTrace()
+        solve_resilient(problem, 20, faults=plan, trace=trace)
+        assert trace.count("solver.bitflip", "injected") == 1
+        assert trace.count("solver.sdc", "detected") == 1
+        assert trace.count("solver.sdc", "rolled-back") == 1
+
+    def test_gives_up_after_max_restarts(self, problem):
+        # More detectable strikes than the restart budget tolerates.
+        plan = FaultPlan(seed=0, solver=tuple(
+            SolverBitFlip(iteration=i, row=2, col=2, bit=14)
+            for i in range(5)))
+        with pytest.raises(RuntimeError, match="restarts"):
+            solve_resilient(problem, 30, faults=plan,
+                            config=ResilienceConfig(max_restarts=2))
+
+    def test_flip_outside_interior_rejected(self, problem):
+        plan = FaultPlan(seed=0, solver=(
+            SolverBitFlip(iteration=0, row=99, col=0, bit=14),))
+        with pytest.raises(ValueError, match="outside"):
+            solve_resilient(problem, 5, faults=plan)
+
+
+class TestDegradedMode:
+    def test_core_failure_slows_but_does_not_corrupt(self, problem):
+        plan = FaultPlan(seed=0, core_failures=(
+            CoreFailure(iteration=10, iy=0, ix=0),))
+        degraded = solve_resilient(problem, 40, cores=(2, 2), faults=plan)
+        clean = solve_resilient(problem, 40, cores=(2, 2))
+        np.testing.assert_array_equal(degraded.grid_f32, clean.grid_f32)
+        assert degraded.failed_cores == ((0, 0),)
+        assert degraded.degraded_factor == pytest.approx(2.0)
+        assert degraded.time_s > clean.time_s
+        assert degraded.weighted_sweeps == pytest.approx(10 + 30 * 2.0)
+
+    def test_all_cores_failing_raises(self, problem):
+        plan = FaultPlan(seed=0, core_failures=(
+            CoreFailure(iteration=0, iy=0, ix=0),
+            CoreFailure(iteration=1, iy=0, ix=1),))
+        with pytest.raises(ValueError, match="surviv"):
+            solve_resilient(problem, 10, cores=(1, 2), faults=plan)
+
+
+class TestRemapFailed:
+    def test_deterministic_least_loaded(self):
+        grid = split_domain(64, 64, 2, 2)
+        a = remap_failed(grid, {(0, 0)})
+        b = remap_failed(grid, {(0, 0)})
+        assert a == b
+        # Nearest survivors are (0,1) and (1,0) at distance 1; equal load
+        # breaks the tie by coordinate.
+        assert a == {(0, 0): (0, 1)}
+
+    def test_spreads_load_over_survivors(self):
+        grid = split_domain(64, 64, 2, 2)
+        assignment = remap_failed(grid, {(0, 0), (1, 1)})
+        assert set(assignment.values()) == {(0, 1), (1, 0)}
+
+    def test_unknown_coord_rejected(self):
+        grid = split_domain(64, 64, 2, 2)
+        with pytest.raises(ValueError, match="unknown"):
+            remap_failed(grid, {(5, 5)})
+
+    def test_no_survivors_rejected(self):
+        grid = split_domain(32, 32, 1, 1)
+        with pytest.raises(ValueError, match="surviv"):
+            remap_failed(grid, {(0, 0)})
+
+
+class TestCampaign:
+    def test_replays_byte_identical(self):
+        cfg = CampaignConfig(seed=11, nx=32, ny=32, iterations=24,
+                             checkpoint_every=6)
+        a = run_campaign(cfg)
+        b = run_campaign(cfg)
+        assert a.trace.to_text() == b.trace.to_text()
+        assert a.outcome == b.outcome
+
+    def test_report_records_detections_and_corrections(self):
+        cfg = CampaignConfig(seed=3, nx=32, ny=32, iterations=24,
+                             dram_flips=2, solver_flips=2, core_failures=1,
+                             checkpoint_every=6)
+        report = run_campaign(cfg)
+        trace = report.trace
+        assert trace.count("dram.bitflip", "injected") == 2
+        assert trace.count("dram.bitflip", "corrected") \
+            + trace.count("dram.bitflip", "uncorrectable") >= 1
+        assert trace.count("solver.bitflip", "injected") == 2
+        assert trace.count("solver.sdc", "detected") == 2
+        assert trace.count("core.failure", "remapped") == 1
+        rendered = report.render()
+        assert "solver residual" in rendered
+        assert "dram flips corrected by ECC" in rendered
+
+    def test_trace_write_is_canonical(self, tmp_path):
+        cfg = CampaignConfig(seed=5, nx=32, ny=32, iterations=16)
+        report = run_campaign(cfg)
+        out = tmp_path / "trace.txt"
+        report.trace.write(str(out))
+        assert out.read_text() == report.trace.to_text()

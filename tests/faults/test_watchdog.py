@@ -1,0 +1,157 @@
+"""The resilient host runtime: Finish watchdog + PCIe retry path."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultInjector, PcieCorruption, run_hang_demo
+from repro.ttmetal import create_buffer
+from repro.ttmetal.host import (DeviceHangError, EnqueueProgram,
+                                EnqueueReadBuffer, EnqueueWriteBuffer, Finish,
+                                PcieTransferError, CreateKernel, Program)
+
+
+def _spin_kernel(ctx):
+    """A compute-slot kernel that just burns deterministic cycles."""
+    for _ in range(ctx.arg("steps")):
+        yield from ctx._elapse(1e-6)
+
+
+def _two_core_program(device, steps=20):
+    program = Program(device)
+    for coord in ((0, 0), (1, 0)):
+        CreateKernel(program, _spin_kernel, device.core(*coord), "compute",
+                     args={"steps": steps})
+    return program
+
+
+class TestWatchdog:
+    def test_healthy_program_unaffected_by_timeout(self, device):
+        program = _two_core_program(device)
+        handle = EnqueueProgram(device, program)
+        elapsed = Finish(device, timeout_s=1.0)
+        assert elapsed == pytest.approx(20e-6)
+        assert handle.t_end is not None
+        assert device._pending_programs == []
+
+    def test_hang_raises_device_hang_error_naming_core(self, device):
+        device.core(0, 0).inject_hang("compute")
+        EnqueueProgram(device, _two_core_program(device))
+        with pytest.raises(DeviceHangError) as exc_info:
+            Finish(device, timeout_s=1e-4)
+        err = exc_info.value
+        assert [s.core for s in err.stalls] == [(0, 0)]
+        assert err.stalls[0].slot == "compute"
+        assert "hang-injected" in err.stalls[0].waiting_on
+        assert "(0, 0)" in str(err)
+        assert err.timeout_s == pytest.approx(1e-4)
+
+    def test_watchdog_fires_at_the_deadline(self, device):
+        device.core(0, 0).inject_hang("compute")
+        EnqueueProgram(device, _two_core_program(device))
+        with pytest.raises(DeviceHangError):
+            Finish(device, timeout_s=5e-5)
+        assert device.sim.now == pytest.approx(5e-5)
+
+    def test_device_usable_after_hang(self, device):
+        """The watchdog must interrupt stranded kernels and clear state so
+        a fresh program can run on the same device."""
+        device.core(0, 0).inject_hang("compute")
+        EnqueueProgram(device, _two_core_program(device))
+        with pytest.raises(DeviceHangError):
+            Finish(device, timeout_s=1e-4)
+        assert device._pending_programs == []
+        assert device.sim.stranded_processes() == []
+        # a healthy core can run a new program afterwards
+        program = Program(device)
+        CreateKernel(program, _spin_kernel, device.core(2, 0), "compute",
+                     args={"steps": 5})
+        EnqueueProgram(device, program)
+        assert Finish(device, timeout_s=1.0) == pytest.approx(5e-6)
+
+    def test_whole_core_failure_strands_every_slot(self, device):
+        device.core(0, 0).fail_core()
+        assert device.core(0, 0).hung_slots == {"dm0", "dm1", "compute"}
+
+    def test_finish_without_timeout_still_deadlocks(self, device):
+        """The default path keeps the old semantics: no watchdog."""
+        device.core(0, 0).inject_hang("compute")
+        EnqueueProgram(device, _two_core_program(device))
+        with pytest.raises(Exception, match="deadlock"):
+            Finish(device)
+
+    def test_hang_demo_names_the_wedged_core(self):
+        err = run_hang_demo(seed=4, timeout_s=1e-3)
+        assert isinstance(err, DeviceHangError)
+        assert len(err.stalls) == 1
+        assert err.stalls[0].core == (0, 0)
+        assert err.stalls[0].slot == "dm0"
+
+
+class TestCircularBufferWedge:
+    def test_wedged_cb_blocks_then_unwedges(self, device):
+        core = device.core(0, 0)
+        cb = core.create_cb(0, page_size=64, n_pages=2)
+        cb.wedge()
+        ev = cb.reserve_back(1)
+        device.sim.run()
+        assert not ev.triggered          # wedged: nothing drains
+        cb.unwedge()
+        device.sim.run()
+        assert ev.triggered
+
+
+class TestPcieRetry:
+    def _install(self, device, indices):
+        plan = FaultPlan(seed=0, pcie=tuple(
+            PcieCorruption(index=i, byte=13, bit=2) for i in indices))
+        inj = FaultInjector(device, plan)
+        inj.install()
+        return inj
+
+    def test_write_retries_until_clean(self, device):
+        inj = self._install(device, [0])
+        data = np.arange(256, dtype=np.uint8)
+        buf = create_buffer(device, data.nbytes)
+        EnqueueWriteBuffer(device, buf, data)
+        out = EnqueueReadBuffer(device, buf)
+        np.testing.assert_array_equal(out, data)
+        assert inj.trace.count("pcie.corruption", "injected") == 1
+        assert inj.trace.count("pcie.corruption", "retried") == 1
+
+    def test_retry_costs_simulated_time(self, device_factory):
+        clean_dev = device_factory()
+        data = np.arange(256, dtype=np.uint8)
+        buf = create_buffer(clean_dev, data.nbytes)
+        t_clean = EnqueueWriteBuffer(clean_dev, buf, data)
+
+        faulty_dev = device_factory()
+        self._install(faulty_dev, [0])
+        buf2 = create_buffer(faulty_dev, data.nbytes)
+        t_faulty = EnqueueWriteBuffer(faulty_dev, buf2, data)
+        assert t_faulty > 2 * t_clean    # second attempt + backoff
+
+    def test_read_retries_until_clean(self, device):
+        data = np.arange(256, dtype=np.uint8)
+        buf = create_buffer(device, data.nbytes)
+        EnqueueWriteBuffer(device, buf, data)
+        inj = self._install(device, [0])
+        out = EnqueueReadBuffer(device, buf)
+        np.testing.assert_array_equal(out, data)
+        assert inj.trace.count("pcie.corruption", "retried") == 1
+
+    def test_persistent_corruption_exhausts_retries(self, device):
+        self._install(device, range(16))   # every attempt corrupted
+        data = np.zeros(64, dtype=np.uint8)
+        buf = create_buffer(device, data.nbytes)
+        with pytest.raises(PcieTransferError, match="integrity"):
+            EnqueueWriteBuffer(device, buf, data)
+
+    def test_non_blocking_write_keeps_corruption(self, device):
+        """Without blocking there is no CRC check: corruption persists."""
+        self._install(device, [0])
+        data = np.zeros(64, dtype=np.uint8)
+        buf = create_buffer(device, data.nbytes)
+        EnqueueWriteBuffer(device, buf, data, blocking=False)
+        device.sim.run()
+        out = buf.read_host(0, 64)
+        assert out[13] == 1 << 2         # the flipped byte landed

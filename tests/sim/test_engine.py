@@ -215,6 +215,46 @@ class TestConditions:
         assert sim.run(until=sim.process(proc())) == (1, "fast")
         assert sim.now == pytest.approx(1.0)
 
+    def test_any_of_duplicate_event_reports_its_index(self, sim):
+        """The same Event listed twice must not always report index 0."""
+        slow = sim.timeout(5, "slow")
+        fast = sim.timeout(1, "fast")
+
+        def proc():
+            idx, val = yield sim.any_of([slow, fast, fast])
+            return idx, val
+        # The first registration of `fast` fires first: index 1, not 0.
+        assert sim.run(until=sim.process(proc())) == (1, "fast")
+
+    def test_any_of_duplicate_only_triggers_once(self, sim):
+        ev = sim.event()
+        cond = sim.any_of([ev, ev])
+        ev.succeed("x")
+        sim.run()
+        assert cond.value == (0, "x")
+
+    def test_all_of_duplicate_event_counts_each_listing(self, sim):
+        """AllOf([e, e]) must wait for both *listings*, i.e. complete when
+        e fires — not hang at 1/2 nor double-complete."""
+        ev = sim.event()
+
+        def proc():
+            vals = yield sim.all_of([ev, ev])
+            return vals
+        p = sim.process(proc())
+        ev.succeed("v")
+        assert sim.run(until=p) == ["v", "v"]
+
+    def test_all_of_mixed_duplicates(self, sim):
+        a = sim.timeout(1, "a")
+        b = sim.timeout(2, "b")
+
+        def proc():
+            vals = yield sim.all_of([a, b, a])
+            return vals
+        assert sim.run(until=sim.process(proc())) == ["a", "b", "a"]
+        assert sim.now == pytest.approx(2.0)
+
 
 class TestDeterminism:
     def test_fifo_among_simultaneous(self, sim):
@@ -269,3 +309,96 @@ class TestDeterminism:
         assert sim.peek() == float("inf")
         sim.timeout(2.5)
         assert sim.peek() == pytest.approx(2.5)
+
+
+class TestTriggerDelayValidation:
+    """succeed() and fail() must validate delays identically."""
+
+    def test_succeed_rejects_none_delay(self, sim):
+        with pytest.raises(ValueError, match="None"):
+            sim.event().succeed("v", delay=None)  # type: ignore[arg-type]
+
+    def test_fail_rejects_none_delay(self, sim):
+        # Historically fail() silently coerced None to 0.0.
+        with pytest.raises(ValueError, match="None"):
+            sim.event().fail(RuntimeError("x"), delay=None)  # type: ignore[arg-type]
+
+    def test_succeed_rejects_negative_delay(self, sim):
+        with pytest.raises(ValueError, match="negative"):
+            sim.event().succeed("v", delay=-1.0)
+
+    def test_fail_rejects_negative_delay(self, sim):
+        with pytest.raises(ValueError, match="negative"):
+            sim.event().fail(RuntimeError("x"), delay=-0.5)
+
+    def test_succeed_rejects_non_numeric_delay(self, sim):
+        with pytest.raises(ValueError, match="real number"):
+            sim.event().succeed("v", delay="soon")  # type: ignore[arg-type]
+
+    def test_rejected_delay_leaves_event_pending(self, sim):
+        ev = sim.event()
+        with pytest.raises(ValueError):
+            ev.succeed("v", delay=-1.0)
+        assert not ev.triggered
+        ev.succeed("v", delay=1.0)  # still usable
+        sim.run()
+        assert ev.value == "v"
+
+    def test_integer_delay_accepted(self, sim):
+        ev = sim.event()
+        ev.succeed("v", delay=2)
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestDeadlockDiagnostics:
+    def test_report_names_stranded_process(self, sim):
+        gate = sim.event(name="the-gate")
+
+        def stuck():
+            yield gate
+        p = sim.process(stuck(), name="stuck-proc")
+        with pytest.raises(SimulationError) as exc_info:
+            sim.run(until=p)
+        msg = str(exc_info.value)
+        assert "deadlock" in msg
+        assert "stuck-proc" in msg
+        assert "the-gate" in msg
+
+    def test_report_includes_wait_start_time(self, sim):
+        gate = sim.event(name="gate")
+
+        def stuck():
+            yield sim.timeout(2.5)
+            yield gate
+        p = sim.process(stuck(), name="late-waiter")
+        with pytest.raises(SimulationError, match=r"since t=2\.5"):
+            sim.run(until=p)
+
+    def test_report_lists_multiple_processes(self, sim):
+        gate = sim.event(name="shared")
+
+        def stuck():
+            yield gate
+
+        def forever():
+            yield sim.process(stuck(), name="w-a")
+        sim.process(stuck(), name="w-b")
+        p = sim.process(forever(), name="joiner")
+        with pytest.raises(SimulationError) as exc_info:
+            sim.run(until=p)
+        msg = str(exc_info.value)
+        assert "w-a" in msg and "w-b" in msg and "joiner" in msg
+
+    def test_stranded_processes_helper(self, sim):
+        gate = sim.event(name="gate")
+
+        def stuck():
+            yield gate
+
+        def done():
+            yield sim.timeout(1)
+        alive = sim.process(stuck(), name="alive")
+        sim.process(done(), name="finished")
+        sim.run()
+        assert sim.stranded_processes() == [alive]

@@ -1,0 +1,138 @@
+"""Process.interrupt / Interrupt semantics (the watchdog's foundation)."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError
+
+
+class TestInterruptWhileWaiting:
+    def test_interrupt_carries_cause(self, sim):
+        def victim():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as e:
+                return e.cause
+        v = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(1)
+            v.interrupt(cause={"reason": "watchdog"})
+        sim.process(attacker())
+        assert sim.run(until=v) == {"reason": "watchdog"}
+        assert sim.now == pytest.approx(1.0)
+
+    def test_uncaught_interrupt_fails_the_process(self, sim):
+        def victim():
+            yield sim.timeout(100)
+        v = sim.process(victim())
+
+        def joiner():
+            try:
+                yield v
+            except Interrupt as e:
+                return f"saw:{e.cause}"
+        j = sim.process(joiner())
+        v.interrupt("bang")
+        assert sim.run(until=j) == "saw:bang"
+        assert v.triggered and not v.ok
+
+    def test_interrupted_process_can_continue(self, sim):
+        """An interrupt is a nudge, not a kill: the generator may resume."""
+        def victim():
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(2)          # keeps running after the poke
+            return sim.now
+        v = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(1)
+            v.interrupt()
+        sim.process(attacker())
+        assert sim.run(until=v) == pytest.approx(3.0)
+
+    def test_stale_wait_callback_is_harmless(self, sim):
+        """The abandoned event's later firing must not re-resume the victim."""
+        slow = sim.timeout(5, "slow-value")
+
+        def victim():
+            try:
+                yield slow
+            except Interrupt:
+                return "interrupted"
+        v = sim.process(victim())
+        v.interrupt()
+        assert sim.run(until=v) == "interrupted"
+        sim.run()                          # let `slow` fire afterwards
+        assert v.value == "interrupted"    # unchanged
+
+
+class TestInterruptRaces:
+    def test_interrupt_racing_normal_completion(self, sim):
+        """Interrupt scheduled the same instant the process finishes: the
+        completion wins and the interrupt is dropped, not an error."""
+        def victim():
+            yield sim.timeout(1)
+            return "finished"
+        v = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(1)
+            if v.is_alive:
+                v.interrupt("too-late?")
+        sim.process(attacker())
+        assert sim.run(until=v) == "finished"
+
+    def test_interrupt_just_before_completion(self, sim):
+        def victim():
+            try:
+                yield sim.timeout(1.0)
+                return "finished"
+            except Interrupt:
+                return "interrupted"
+        v = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(0.5)
+            v.interrupt()
+        sim.process(attacker())
+        assert sim.run(until=v) == "interrupted"
+        assert sim.now == pytest.approx(0.5)
+
+    def test_double_interrupt_delivers_both(self, sim):
+        hits = []
+
+        def victim():
+            for _ in range(2):
+                try:
+                    yield sim.timeout(100)
+                except Interrupt as e:
+                    hits.append(e.cause)
+            return hits
+        v = sim.process(victim())
+        v.interrupt("first")
+        v.interrupt("second")
+        assert sim.run(until=v) == ["first", "second"]
+
+
+class TestInterruptFinished:
+    def test_interrupting_finished_process_raises(self, sim):
+        def quick():
+            yield sim.timeout(0)
+        p = sim.process(quick())
+        sim.run(until=p)
+        with pytest.raises(SimulationError, match="finished"):
+            p.interrupt()
+
+    def test_interrupting_crashed_process_raises(self, sim):
+        def bad():
+            yield sim.timeout(0)
+            raise ValueError("boom")
+        p = sim.process(bad())
+        p.add_callback(lambda _e: None)   # join it: crash isn't "unhandled"
+        sim.run()
+        assert p.triggered and not p.ok
+        with pytest.raises(SimulationError):
+            p.interrupt()
