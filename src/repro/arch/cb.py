@@ -63,7 +63,8 @@ class CircularBuffer:
         self.dtype = dtype
         self.elem_bytes = self.DTYPES[dtype]
         self.name = name or f"cb{cb_id}"
-        self.base = sram.allocate(page_size * n_pages, align=32)
+        self.base = sram.allocate(page_size * n_pages, align=32,
+                                  label=self.name)
 
         # Queue state: absolute page counters (never wrap; modulo for slots).
         self._reserved = 0   # pages handed to the producer (reserve_back)

@@ -31,6 +31,9 @@ class Sram:
         self.capacity = capacity
         self.mem = np.zeros(capacity, dtype=np.uint8)
         self._brk = self.RESERVED
+        #: every allocation as (base, size, label) — consumed by
+        #: ``repro.lint``'s L1-overlap rule (P204)
+        self.regions: list = []
 
     @property
     def allocated(self) -> int:
@@ -40,7 +43,8 @@ class Sram:
     def free(self) -> int:
         return self.capacity - self._brk
 
-    def allocate(self, size: int, align: int = 32) -> int:
+    def allocate(self, size: int, align: int = 32,
+                 label: str = "slab") -> int:
         """Reserve ``size`` bytes; returns the base address."""
         if size <= 0:
             raise ValueError("allocation size must be positive")
@@ -52,6 +56,7 @@ class Sram:
                 f"L1 exhausted: need {size} B at {addr}, capacity "
                 f"{self.capacity} B ({self.free} B free)")
         self._brk = addr + size
+        self.regions.append((addr, size, label))
         return addr
 
     def view(self, addr: int, size: int) -> np.ndarray:

@@ -8,6 +8,7 @@ Commands
 ``figures``  regenerate the paper's figures as text
 ``profile``  run the optimised kernel and print the busy/stall profile
 ``faults``   run a seeded fault-injection campaign (or the watchdog demo)
+``lint``     statically verify every shipped kernel and program
 
 Examples::
 
@@ -19,6 +20,8 @@ Examples::
     python -m repro faults --seed 7 --dram-flips 3 --core-failures 1
     python -m repro faults --replay-check
     python -m repro faults --hang-demo
+    python -m repro lint
+    python -m repro lint --list-rules
 """
 
 from __future__ import annotations
@@ -107,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the campaign twice and diff the traces")
     f.add_argument("--hang-demo", action="store_true",
                    help="inject a kernel hang and show the Finish watchdog")
+
+    li = sub.add_parser(
+        "lint", help="statically verify the shipped kernels and programs")
+    li.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    li.add_argument("--skip-examples", action="store_true",
+                    help="do not lint the examples/ scripts")
     return p
 
 
@@ -251,6 +261,78 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Statically lint every shipped kernel/program and the examples.
+
+    Builds each shipped program exactly as the runners do (the
+    ``lint.capture()`` context collects findings instead of warning) and
+    exits nonzero if any rule fires — the CI gate promised in
+    ``docs/lint_rules.md``.
+    """
+    from repro import lint
+
+    if args.list_rules:
+        for rule in lint.all_rules():
+            sev = "E" if rule.severity == lint.Severity.ERROR else "W"
+            print(f"{sev} {rule.rule_id} {rule.name:<28} {rule.summary}")
+        return 0
+
+    from repro.arch.device import GrayskullDevice
+    from repro.core.grid import LaplaceProblem
+    from repro.core.jacobi_initial import InitialConfig, InitialJacobiRunner
+    from repro.core.jacobi_optimized import OptimizedJacobiRunner
+    from repro.core.jacobi_sram import SramJacobiRunner
+    from repro.streaming import StreamConfig, run_streaming
+
+    problem = LaplaceProblem(nx=64, ny=64)
+    with lint.capture() as report:
+        for cfg in (InitialConfig.initial(), InitialConfig.write_optimised(),
+                    InitialConfig.double_buffered_cfg()):
+            dev = GrayskullDevice(dram_bank_capacity=64 << 20)
+            InitialJacobiRunner(dev, problem, cfg).run(2, read_back=False)
+        dev = GrayskullDevice(dram_bank_capacity=64 << 20)
+        OptimizedJacobiRunner(dev, problem).run(2, read_back=False)
+        dev = GrayskullDevice(dram_bank_capacity=64 << 20)
+        OptimizedJacobiRunner(dev, problem, cores_y=2, cores_x=2).run(
+            2, read_back=False)
+        dev = GrayskullDevice(dram_bank_capacity=64 << 20)
+        SramJacobiRunner(dev, problem).run(2, read_back=False)
+        run_streaming(StreamConfig(rows=64, row_elems=1024))
+        run_streaming(StreamConfig(rows=64, row_elems=1024, sync_read=True,
+                                   sync_write=True, contiguous=False,
+                                   replication=2, page_size=2048))
+        if not args.skip_examples:
+            _lint_examples()
+    n_programs = "shipped kernels and examples" if not args.skip_examples \
+        else "shipped kernels"
+    if report:
+        print(report.render())
+        print(f"FAILED: {len(report)} finding(s) across {n_programs}")
+        return 1
+    print(f"OK: no findings across {n_programs}")
+    return 0
+
+
+def _lint_examples() -> None:
+    """Run the examples/ scripts so their programs reach the linter."""
+    import contextlib
+    import importlib.util
+    import io
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    for path in sorted((root / "examples").glob("*.py")):
+        spec = importlib.util.spec_from_file_location(
+            f"_lint_example_{path.stem}", path)
+        if spec is None or spec.loader is None:  # pragma: no cover
+            continue
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        if hasattr(module, "main"):
+            with contextlib.redirect_stdout(io.StringIO()):
+                module.main()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -260,6 +342,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stream": _cmd_stream,
         "profile": _cmd_profile,
         "faults": _cmd_faults,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

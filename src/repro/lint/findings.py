@@ -1,0 +1,100 @@
+"""Lint findings: what a rule reports and how a report renders.
+
+A :class:`Finding` pins one rule violation to a source location and
+carries the fix hint shown to the kernel author.  :class:`LintReport`
+aggregates the findings of one lint pass (a kernel, a program, or the
+whole shipped-kernel sweep); strict mode wraps a non-empty report in
+:class:`LintError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Severity", "Finding", "LintReport", "LintError", "LintWarning"]
+
+
+class Severity:
+    """Finding severities (plain strings so reports sort/render simply)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str        #: e.g. "K103"
+    name: str           #: rule slug, e.g. "unbarriered-read-publish"
+    severity: str       #: :class:`Severity`
+    message: str        #: what is wrong, concretely
+    filename: str       #: source file of the offending call
+    lineno: int         #: 1-based line of the offending call
+    kernel: str         #: kernel function (or program scope) flagged
+    hint: str           #: how to fix it
+
+    @property
+    def location(self) -> str:
+        return f"{self.filename}:{self.lineno}"
+
+    def render(self) -> str:
+        tag = "E" if self.severity == Severity.ERROR else "W"
+        lines = [f"{tag} {self.rule_id} [{self.name}] {self.location} "
+                 f"({self.kernel}): {self.message}"]
+        if self.hint:
+            lines.append(f"    hint: {self.hint}")
+        return "\n".join(lines)
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: optional label for rendering ("program", "jacobi_initial", ...)
+    scope: str = ""
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == Severity.WARNING]
+
+    def rule_ids(self) -> List[str]:
+        return sorted({f.rule_id for f in self.findings})
+
+    def __bool__(self) -> bool:
+        return bool(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def render(self) -> str:
+        if not self.findings:
+            scope = f" in {self.scope}" if self.scope else ""
+            return f"lint: no findings{scope}"
+        head = f"lint: {len(self.errors)} error(s), " \
+               f"{len(self.warnings)} warning(s)"
+        if self.scope:
+            head += f" in {self.scope}"
+        body = [f.render() for f in self.findings]
+        return "\n".join([head] + body)
+
+
+class LintError(RuntimeError):
+    """Strict-mode lint failure: the program violates at least one rule."""
+
+    def __init__(self, report: LintReport):
+        self.report = report
+        super().__init__(report.render())
+
+
+class LintWarning(UserWarning):
+    """Category used when ``EnqueueProgram`` warns about lint findings."""

@@ -1,0 +1,136 @@
+"""Rule registry: one metadata record per lint rule.
+
+Rule IDs are stable (documented in ``docs/lint_rules.md`` and asserted
+by the seeded-violation corpus): ``K1xx`` rules run on a single kernel
+trace, ``P2xx`` rules need the whole :class:`~repro.ttmetal.host.Program`
+(CB configuration, runtime args, L1 layout, DRAM buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .findings import Finding, Severity
+
+__all__ = ["Rule", "RULES", "make_finding", "all_rules"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    name: str
+    severity: str
+    scope: str          #: "kernel" or "program"
+    summary: str
+    hint: str
+    paper_ref: str      #: the paper section/figure that motivates the rule
+
+
+def _r(rule_id, name, severity, scope, summary, hint, paper_ref) -> Rule:
+    return Rule(rule_id, name, severity, scope, summary, hint, paper_ref)
+
+
+_RULE_LIST: List[Rule] = [
+    _r("K101", "cb-loop-imbalance", Severity.ERROR, "kernel",
+       "cb_reserve_back and cb_push_back counts differ across one loop "
+       "iteration, so the producer drifts out of step with its CB",
+       "make every loop body reserve exactly as many pages as it pushes; "
+       "an imbalance overflows (or starves) the FIFO after n_pages "
+       "iterations and the program deadlocks",
+       "Fig. 3 (reader/compute/writer CB pipeline)"),
+    _r("K102", "cb-pop-without-wait", Severity.ERROR, "kernel",
+       "cb_pop_front on a circular buffer this kernel never "
+       "cb_wait_front-s",
+       "call cb_wait_front before cb_pop_front: pop releases pages that "
+       "wait claimed, popping unclaimed pages corrupts the FIFO state",
+       "Fig. 3 (wait/pop consumer protocol)"),
+    _r("K103", "unbarriered-read-publish", Severity.ERROR, "kernel",
+       "cb_push_back publishes a page while a noc_async read into that "
+       "page is still outstanding",
+       "insert noc_async_read_barrier() between the NoC read targeting "
+       "cb_write_ptr(...) and the cb_push_back that publishes it; "
+       "otherwise the consumer can observe stale bytes",
+       "Section V (async NoC reads), Fig. 3"),
+    _r("K104", "unbarriered-write-handoff", Severity.ERROR, "kernel",
+       "semaphore_inc signals completion while NoC writes are still "
+       "outstanding",
+       "drain with noc_async_write_barrier() before semaphore_inc: the "
+       "semaphore tells the peer the data landed, so the writes must "
+       "land first",
+       "Section VI (SEM_COLUMN rotating-buffer drain)"),
+    _r("K105", "rd-alias-before-wait", Severity.ERROR, "kernel",
+       "cb_set_rd_ptr re-points a consumed CB without a cb_wait_front "
+       "since the last cb_pop_front",
+       "cb_set_rd_ptr only aliases pages the kernel already owns via "
+       "cb_wait_front; aliasing unowned pages reads data the producer "
+       "may still be writing",
+       "Section VI (zero-copy cb_set_rd_ptr extension)"),
+    _r("K106", "misaligned-noc-address", Severity.ERROR, "kernel",
+       "noc_async read/write uses a DRAM address that is not 256-bit "
+       "aligned",
+       "round the address down to a 32-byte boundary, transfer "
+       "size+slack bytes and skip the slack in L1 (the Listing-4 "
+       "pattern); unaligned reads return silently shifted data",
+       "Listing 4, Section V (alignment)"),
+    _r("P201", "cb-no-consumer", Severity.WARNING, "program",
+       "a circular buffer is pushed to but no kernel on the core ever "
+       "waits on, pops or aliases it",
+       "add a consumer or delete the producer: pushes into an unread CB "
+       "stall after n_pages pages and waste L1",
+       "Fig. 3 (every CB links exactly one producer to one consumer)"),
+    _r("P202", "cb-no-producer", Severity.ERROR, "program",
+       "a kernel waits on a circular buffer that no kernel on the core "
+       "ever pushes to",
+       "add the producer (cb_push_back / pack_tile / cb_set_wr_ptr) or "
+       "drop the wait: waiting on a never-filled CB deadlocks the core",
+       "Fig. 3"),
+    _r("P203", "cb-page-deadlock", Severity.ERROR, "program",
+       "a kernel's static reserve/wait demand exceeds the circular "
+       "buffer's n_pages, so the request can never be satisfied",
+       "raise n_pages in CreateCircularBuffer or interleave pops/pushes "
+       "so the in-flight page count stays within the FIFO",
+       "Table VI (page counts vs. double buffering)"),
+    _r("P204", "l1-region-overlap", Severity.ERROR, "program",
+       "two L1 regions (circular buffers or sram.allocate slabs) "
+       "overlap, or allocations exceed the 1 MB L1",
+       "lay CBs and scratch slabs out disjointly; overlapping regions "
+       "silently corrupt each other's pages",
+       "Section III (1 MB L1 per Tensix core)"),
+    _r("P205", "missing-runtime-arg", Severity.ERROR, "program",
+       "a kernel reads ctx.arg(name) without a default, but CreateKernel "
+       "did not pass that runtime arg",
+       "add the name to the args dict in CreateKernel (or give the "
+       "ctx.arg a default); the kernel would raise KernelError at launch",
+       "Section IV (runtime args)"),
+    _r("P206", "misaligned-buffer-offset", Severity.ERROR, "program",
+       "a buffer-level NoC transfer starts at a DRAM offset that is not "
+       "256-bit aligned",
+       "keep buffer offsets multiples of 32 bytes (pad rows as "
+       "AlignedDomain does, Fig. 5) or use the Listing-4 slack-read "
+       "pattern",
+       "Listing 4, Fig. 5 (aligned domain padding)"),
+    _r("P207", "cb-not-configured", Severity.ERROR, "program",
+       "a kernel references a circular-buffer id that was never "
+       "configured on its core",
+       "add the CreateCircularBuffer(program, core, cb_id, ...) call or "
+       "fix the CB id; the kernel would raise KernelError at launch",
+       "Section IV (host-side CB configuration)"),
+]
+
+RULES: Dict[str, Rule] = {r.rule_id: r for r in _RULE_LIST}
+
+
+def all_rules() -> List[Rule]:
+    """All rules in ID order (used by the docs test and the CLI)."""
+    return list(_RULE_LIST)
+
+
+def make_finding(rule_id: str, message: str, *, filename: str, lineno: int,
+                 kernel: str, hint: str = None) -> Finding:
+    """Build a :class:`Finding`, pulling metadata from the registry."""
+    rule = RULES[rule_id]
+    return Finding(rule_id=rule.rule_id, name=rule.name,
+                   severity=rule.severity, message=message,
+                   filename=filename, lineno=lineno, kernel=kernel,
+                   hint=hint if hint is not None else rule.hint)

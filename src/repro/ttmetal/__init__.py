@@ -25,6 +25,8 @@ from repro.ttmetal.host import (
     EnqueueReadBuffer,
     EnqueueWriteBuffer,
     Finish,
+    LintError,
+    LintWarning,
     PcieTransferError,
     Program,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "EnqueueReadBuffer",
     "EnqueueWriteBuffer",
     "Finish",
+    "LintError",
+    "LintWarning",
     "PcieTransferError",
     "Program",
     "create_buffer",

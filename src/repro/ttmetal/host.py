@@ -20,6 +20,8 @@ the paper's measurements do.
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
@@ -27,6 +29,7 @@ import numpy as np
 
 from repro.arch.device import GrayskullDevice
 from repro.arch.tensix import COMPUTE, DATA_MOVER_0, DATA_MOVER_1, TensixCore
+from repro.lint.findings import LintError, LintWarning
 from repro.sim import Process, SimulationError
 from repro.ttmetal.buffers import Buffer
 from repro.ttmetal.kernel_api import ComputeCtx, DataMoverCtx
@@ -37,6 +40,8 @@ __all__ = [
     "CoreStall",
     "DeviceHangError",
     "PcieTransferError",
+    "LintError",
+    "LintWarning",
     "CreateKernel",
     "CreateCircularBuffer",
     "CreateSemaphore",
@@ -99,6 +104,26 @@ class _KernelSpec:
     args: Dict
 
 
+@dataclass(frozen=True)
+class _CbSpec:
+    """One CreateCircularBuffer record (consumed by ``repro.lint``)."""
+
+    core: TensixCore
+    cb_id: int
+    page_size: int
+    n_pages: int
+    dtype: str
+
+
+@dataclass(frozen=True)
+class _SemSpec:
+    """One CreateSemaphore record (consumed by ``repro.lint``)."""
+
+    core: TensixCore
+    sem_id: int
+    initial: int
+
+
 @dataclass
 class ProgramHandle:
     """A launched program: its processes and start time."""
@@ -123,6 +148,8 @@ class Program:
     def __init__(self, device: GrayskullDevice):
         self.device = device
         self.kernels: List[_KernelSpec] = []
+        self.circular_buffers: List[_CbSpec] = []
+        self.semaphores: List[_SemSpec] = []
 
     @property
     def cores(self) -> List[TensixCore]:
@@ -165,6 +192,8 @@ def CreateCircularBuffer(program: Program,
     cores = [core] if isinstance(core, TensixCore) else list(core)
     for c in cores:
         c.create_cb(cb_id, page_size, n_pages, dtype=dtype)
+        program.circular_buffers.append(
+            _CbSpec(c, cb_id, page_size, n_pages, dtype))
 
 
 def CreateSemaphore(program: Program,
@@ -174,6 +203,7 @@ def CreateSemaphore(program: Program,
     cores = [core] if isinstance(core, TensixCore) else list(core)
     for c in cores:
         c.create_semaphore(sem_id, initial)
+        program.semaphores.append(_SemSpec(c, sem_id, initial))
 
 
 def _pcie_corruption(device: GrayskullDevice,
@@ -272,10 +302,49 @@ def _make_ctx(spec: _KernelSpec, device: GrayskullDevice):
     return DataMoverCtx(spec.core, spec.slot, args)
 
 
-def EnqueueProgram(device: GrayskullDevice, program: Program) -> ProgramHandle:
-    """Launch every kernel of ``program`` as a simulator process."""
+def _maybe_lint(program: Program, mode: Optional[str]) -> None:
+    """Run the static verifier over ``program`` per the lint mode.
+
+    ``mode`` is ``"off"``/``"warn"``/``"strict"``; ``None`` falls back to
+    the ``REPRO_LINT`` environment variable (default ``"warn"``).  Warn
+    mode emits one aggregated :class:`LintWarning`; strict mode raises
+    :class:`LintError` on any finding.  When a ``repro.lint.capture()``
+    block is active, findings are routed there instead.  Lint-internal
+    failures never break a run.
+    """
+    if mode is None:
+        mode = os.environ.get("REPRO_LINT", "warn")
+    if mode not in ("off", "warn", "strict"):
+        raise ValueError(f"unknown lint mode {mode!r} "
+                         "(expected 'off', 'warn' or 'strict')")
+    if mode == "off":
+        return
+    from repro import lint as _lint
+    try:
+        report = _lint.lint_program(program)
+    except Exception as exc:  # the verifier must never break a launch
+        warnings.warn(f"repro.lint failed on this program: {exc!r}",
+                      RuntimeWarning, stacklevel=3)
+        return
+    if not report:
+        return
+    if _lint.deliver(report):
+        return
+    if mode == "strict":
+        raise LintError(report)
+    warnings.warn("\n" + report.render(), LintWarning, stacklevel=3)
+
+
+def EnqueueProgram(device: GrayskullDevice, program: Program,
+                   lint: Optional[str] = None) -> ProgramHandle:
+    """Launch every kernel of ``program`` as a simulator process.
+
+    ``lint`` selects the static-verifier mode (``"off"``, ``"warn"``,
+    ``"strict"``); ``None`` defers to ``REPRO_LINT`` (default: warn).
+    """
     if not program.kernels:
         raise ValueError("program has no kernels")
+    _maybe_lint(program, lint)
     procs: List[Process] = []
     for spec in program.kernels:
         ctx = _make_ctx(spec, device)

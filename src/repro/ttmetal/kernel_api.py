@@ -50,6 +50,20 @@ class NocAddr(NamedTuple):
         return NocAddr(self.bank_id, self.addr + int(nbytes))
 
 
+def _rotating_gather(window: np.ndarray, pos: int, size: int) -> np.ndarray:
+    """Read ``size`` stream bytes from a rotating window starting at ``pos``.
+
+    The exact inverse of the placement rule (stream byte ``j`` lives at
+    window position ``(pos + j) % win``), for any number of wraps — the
+    two-slice concatenation this replaces silently truncated ranges
+    longer than ``pos``'s remaining lap.
+    """
+    win = window.size
+    if pos + size <= win:
+        return window[pos:pos + size].copy()
+    return window[(pos + np.arange(size)) % win]
+
+
 class _CtxBase:
     """Shared state/behaviour of all three kernel contexts."""
 
@@ -122,12 +136,14 @@ class _CtxBase:
         server attached — the paper found it "incurred significant
         overhead and-so ... it was disabled for all production runs"."""
         device = self.args.get("_device")
-        if device is not None and device.print_server_enabled:
-            yield from self._elapse(self.costs.dprint_cost)
-            device.dprint_log.append(
-                (self.sim.now, self.core.coord, self.slot, str(message)))
-        elif False:
-            yield  # pragma: no cover - keeps this a generator function
+        if device is None or not device.print_server_enabled:
+            # Production mode: the statement compiles out entirely, so it
+            # must cost exactly zero simulated time.
+            return
+            yield  # pragma: no cover - unreachable; keeps this a generator
+        yield from self._elapse(self.costs.dprint_cost)
+        device.dprint_log.append(
+            (self.sim.now, self.core.coord, self.slot, str(message)))
 
     def _cb(self, cb_id: int):
         try:
@@ -384,12 +400,7 @@ class DataMoverCtx(_CtxBase):
         pos = 0
         n_segments = 0
         for off, size in ranges:
-            # Gather the payload from the (possibly rotating) window.
-            if pos + size <= win:
-                data = src[pos:pos + size].copy()
-            else:
-                head = win - pos
-                data = np.concatenate([src[pos:], src[:size - head]])
+            data = _rotating_gather(src, pos, size)
             pos = (pos + size) % win
             for j in buf.write_jobs(off, data):
                 issue += self.costs.write_issue + self._write_penalty(
@@ -468,7 +479,7 @@ class DataMoverCtx(_CtxBase):
         total = n_requests * batch
         win = window if window is not None else total
         src = self.core.sram.view(l1_addr, win)
-        payload = src if total == win else np.resize(src, total)
+        payload = src if total == win else _rotating_gather(src, 0, total)
         buf.scatter_uniform(start, n_requests, batch, stride, payload)
         self._last_write_end = (buf.bank_id,
                                 buf.addr + start + (n_requests - 1) * stride

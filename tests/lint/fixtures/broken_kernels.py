@@ -1,0 +1,136 @@
+"""Seeded-violation corpus: one minimally-broken kernel per lint rule.
+
+Each kernel here violates exactly one rule (the one named in its
+function name); the tests assert the expected rule ID fires, and — for
+the per-kernel rules — that *only* that rule fires.  These kernels are
+never executed, only statically traced.
+"""
+
+from repro.ttmetal.kernel_api import NocAddr
+
+
+# -- K101: cb-loop-imbalance -------------------------------------------------
+
+def k101_loop_imbalance(ctx):
+    """Two reserves per push inside a non-unrollable loop: drifts +1/iter."""
+    n = ctx.arg("n")
+    for _ in range(n):
+        yield from ctx.cb_reserve_back(0, 1)
+        yield from ctx.cb_reserve_back(0, 1)
+        yield from ctx.cb_push_back(0, 1)
+
+
+# -- K102: cb-pop-without-wait -----------------------------------------------
+
+def k102_pop_without_wait(ctx):
+    """Pops CB 0 without ever waiting on it."""
+    yield from ctx.cb_pop_front(0, 1)
+
+
+# -- K103: unbarriered-read-publish -------------------------------------------
+
+def k103_unbarriered_read_publish(ctx):
+    """Publishes a CB page while the NoC read filling it is in flight."""
+    buf = ctx.arg("buf")
+    yield from ctx.cb_reserve_back(0, 1)
+    yield from ctx.noc_read_buffer(buf, 0, ctx.cb_write_ptr(0), 64)
+    yield from ctx.cb_push_back(0, 1)  # missing noc_async_read_barrier
+
+
+# -- K104: unbarriered-write-handoff ------------------------------------------
+
+def k104_unbarriered_write_handoff(ctx):
+    """Signals the semaphore while the NoC write is still outstanding."""
+    buf = ctx.arg("buf")
+    l1 = ctx.core.sram.allocate(64)
+    yield from ctx.noc_write_buffer(buf, 0, l1, 64)
+    yield from ctx.semaphore_inc(0, 1)  # missing noc_async_write_barrier
+
+
+# -- K105: rd-alias-before-wait -----------------------------------------------
+
+def k105_alias_before_wait(ctx):
+    """Re-points the rd alias after pop_front cleared it, with no re-wait."""
+    yield from ctx.cb_wait_front(0, 1)
+    yield from ctx.cb_pop_front(0, 1)
+    yield from ctx.cb_set_rd_ptr(0, 32 * 1024)
+
+
+# -- K106: misaligned-noc-address ---------------------------------------------
+
+def k106_misaligned_noc_addr(ctx):
+    """Raw NoC read from a DRAM address that is not 32-byte aligned."""
+    l1 = ctx.core.sram.allocate(64)
+    yield from ctx.noc_async_read(NocAddr(0, 13), l1, 64)
+    yield from ctx.noc_async_read_barrier()
+
+
+# -- P201: cb-no-consumer ------------------------------------------------------
+
+def p201_lonely_producer(ctx):
+    """Pushes CB 0; no kernel on the core ever consumes it."""
+    yield from ctx.cb_reserve_back(0, 1)
+    yield from ctx.cb_push_back(0, 1)
+
+
+# -- P202: cb-no-producer ------------------------------------------------------
+
+def p202_lonely_consumer(ctx):
+    """Waits on CB 1; no kernel on the core ever pushes it."""
+    yield from ctx.cb_wait_front(1, 1)
+    yield from ctx.cb_pop_front(1, 1)
+
+
+# -- P203: cb-page-deadlock ----------------------------------------------------
+
+def p203_reserve_too_many(ctx):
+    """Reserves 8 pages on a CB configured with only 4."""
+    yield from ctx.cb_reserve_back(0, 8)
+    yield from ctx.cb_push_back(0, 8)
+
+
+def p203_consumer(ctx):
+    """Companion consumer so P201 stays quiet in the P203 fixture."""
+    yield from ctx.cb_wait_front(0, 1)
+    yield from ctx.cb_pop_front(0, 1)
+
+
+def p203_creeping_reserve(ctx):
+    """Each reserve fits on its own, but the unpushed demand accumulates
+    past n_pages=4 before the first push."""
+    yield from ctx.cb_reserve_back(0, 2)
+    yield from ctx.cb_reserve_back(0, 2)
+    yield from ctx.cb_reserve_back(0, 2)
+    yield from ctx.cb_push_back(0, 6)
+
+
+# -- P205: missing-runtime-arg -------------------------------------------------
+
+def p205_needs_missing_arg(ctx):
+    """Requires a runtime arg that CreateKernel never passes."""
+    target = ctx.arg("missing_thing")
+    yield from ctx.semaphore_wait(0, target)
+
+
+# -- P206: misaligned-buffer-offset --------------------------------------------
+
+def p206_misaligned_offset(ctx):
+    """Buffer-level read starting 13 bytes into a single-bank buffer."""
+    buf = ctx.arg("src")
+    l1 = ctx.core.sram.allocate(64)
+    yield from ctx.noc_read_buffer(buf, 13, l1, 32)
+    yield from ctx.noc_async_read_barrier()
+
+
+# -- P207: cb-not-configured ---------------------------------------------------
+
+def p207_producer_unconfigured(ctx):
+    """Pushes CB 5, which the host never configured."""
+    yield from ctx.cb_reserve_back(5, 1)
+    yield from ctx.cb_push_back(5, 1)
+
+
+def p207_consumer_unconfigured(ctx):
+    """Consumes CB 5, which the host never configured."""
+    yield from ctx.cb_wait_front(5, 1)
+    yield from ctx.cb_pop_front(5, 1)

@@ -1,0 +1,19 @@
+"""docs/lint_rules.md must stay in sync with the rule registry."""
+
+import pathlib
+
+from repro.lint import all_rules
+
+DOCS = pathlib.Path(__file__).resolve().parents[2] / "docs"
+
+
+class TestCatalogue:
+    def test_every_rule_is_documented(self):
+        text = (DOCS / "lint_rules.md").read_text()
+        for rule in all_rules():
+            assert f"{rule.rule_id} `{rule.name}`" in text, \
+                f"{rule.rule_id} missing from docs/lint_rules.md"
+
+    def test_writing_kernels_links_the_catalogue(self):
+        text = (DOCS / "writing_kernels.md").read_text()
+        assert "lint_rules.md" in text

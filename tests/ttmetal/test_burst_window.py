@@ -1,0 +1,145 @@
+"""Rotating-window burst semantics: read placement and write gather mirror.
+
+A burst with ``window=w`` streams its payload through a ``w``-byte L1
+scratch: stream byte ``j`` lives at window position ``j % w`` (reads),
+and the write path must gather stream byte ``j`` from ``j % w`` —
+including ranges that wrap the window more than once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.tensix import DATA_MOVER_0, DATA_MOVER_1
+from repro.ttmetal import (
+    CreateKernel,
+    EnqueueProgram,
+    EnqueueWriteBuffer,
+    Finish,
+    Program,
+    create_buffer,
+)
+
+
+def launch(device, kernels):
+    prog = Program(device)
+    core = device.core(0, 0)
+    for fn, slot, args in kernels:
+        CreateKernel(prog, fn, core, slot, args)
+    EnqueueProgram(device, prog)
+    return Finish(device)
+
+
+def cyclic_placement(data: np.ndarray, win: int) -> np.ndarray:
+    """Reference model: stream byte j lands at j % win, later bytes win."""
+    window = np.zeros(win, dtype=np.uint8)
+    for j in range(data.size):
+        window[j % win] = data[j]
+    return window
+
+
+class TestUniformRoundTrip:
+    def test_exact_round_trip_without_wrap(self, device, rng):
+        n, batch = 8, 64
+        total = n * batch
+        src = create_buffer(device, total, bank_id=0)
+        dst = create_buffer(device, total, bank_id=1)
+        data = rng.integers(0, 256, total, dtype=np.uint8)
+        EnqueueWriteBuffer(device, src, data)
+
+        def mover(ctx):
+            l1 = ctx.core.sram.allocate(total)
+            yield from ctx.noc_read_buffer_burst_uniform(
+                src, 0, n, batch, batch, l1, window=total)
+            yield from ctx.noc_async_read_barrier()
+            yield from ctx.noc_write_buffer_burst_uniform(
+                dst, 0, n, batch, batch, l1, window=total)
+            yield from ctx.noc_async_write_barrier()
+        launch(device, [(mover, DATA_MOVER_0, {})])
+        assert np.array_equal(dst.read_host(), data)
+
+    def test_wrapping_round_trip_matches_cyclic_model(self, device, rng):
+        n, batch, win = 6, 64, 160          # total=384: wraps 2.4 windows
+        total = n * batch
+        src = create_buffer(device, total, bank_id=0)
+        dst = create_buffer(device, total, bank_id=1)
+        data = rng.integers(0, 256, total, dtype=np.uint8)
+        EnqueueWriteBuffer(device, src, data)
+
+        def mover(ctx):
+            l1 = ctx.core.sram.allocate(win)
+            yield from ctx.noc_read_buffer_burst_uniform(
+                src, 0, n, batch, batch, l1, window=win)
+            yield from ctx.noc_async_read_barrier()
+            yield from ctx.noc_write_buffer_burst_uniform(
+                dst, 0, n, batch, batch, l1, window=win)
+            yield from ctx.noc_async_write_barrier()
+        launch(device, [(mover, DATA_MOVER_0, {})])
+        window = cyclic_placement(data, win)
+        expected = window[np.arange(total) % win]
+        assert np.array_equal(dst.read_host(), expected)
+
+
+class TestRangesGather:
+    def test_multiwrap_range_is_not_truncated(self, device, rng):
+        """One write range longer than two windows: every byte must come
+        from the modular gather (the old two-slice path clipped it)."""
+        win, size = 40, 100                  # size - (win - pos) > win
+        dst = create_buffer(device, size, bank_id=0)
+        window_data = rng.integers(0, 256, win, dtype=np.uint8)
+
+        def writer(ctx):
+            l1 = ctx.core.sram.allocate(win)
+            ctx.core.sram.view(l1, win)[:] = window_data
+            yield from ctx.noc_write_buffer_burst(
+                dst, [(0, size)], l1, window=win)
+            yield from ctx.noc_async_write_barrier()
+        launch(device, [(writer, DATA_MOVER_0, {})])
+        expected = window_data[np.arange(size) % win]
+        assert np.array_equal(dst.read_host(), expected)
+
+    def test_ranges_write_matches_uniform_write(self, device, rng):
+        """The per-range and uniform write paths must agree byte-for-byte
+        when describing the same transfer out of the same window."""
+        n, batch, win = 5, 32, 48
+        total = n * batch
+        dst_a = create_buffer(device, total, bank_id=0)
+        dst_b = create_buffer(device, total, bank_id=1)
+        window_data = rng.integers(0, 256, win, dtype=np.uint8)
+
+        def writer_ranges(ctx):
+            l1 = ctx.core.sram.allocate(win)
+            ctx.core.sram.view(l1, win)[:] = window_data
+            ranges = [(i * batch, batch) for i in range(n)]
+            yield from ctx.noc_write_buffer_burst(
+                dst_a, ranges, l1, window=win)
+            yield from ctx.noc_async_write_barrier()
+
+        def writer_uniform(ctx):
+            l1 = ctx.core.sram.allocate(win)
+            ctx.core.sram.view(l1, win)[:] = window_data
+            yield from ctx.noc_write_buffer_burst_uniform(
+                dst_b, 0, n, batch, batch, l1, window=win)
+            yield from ctx.noc_async_write_barrier()
+        launch(device, [(writer_ranges, DATA_MOVER_0, {}),
+                        (writer_uniform, DATA_MOVER_1, {})])
+        assert np.array_equal(dst_a.read_host(), dst_b.read_host())
+        assert np.array_equal(dst_a.read_host(),
+                              window_data[np.arange(total) % win])
+
+    def test_ranges_read_places_final_wrap(self, device, rng):
+        """Reading through a window keeps only the final wrap, matching
+        the uniform read path's cyclic placement."""
+        win, size = 48, 112
+        src = create_buffer(device, size, bank_id=0)
+        data = rng.integers(0, 256, size, dtype=np.uint8)
+        EnqueueWriteBuffer(device, src, data)
+        got = {}
+
+        def reader(ctx):
+            l1 = ctx.core.sram.allocate(win)
+            yield from ctx.noc_read_buffer_burst(
+                src, [(0, size)], l1, window=win)
+            yield from ctx.noc_async_read_barrier()
+            got["window"] = ctx.core.sram.view(l1, win).copy()
+        launch(device, [(reader, DATA_MOVER_0, {})])
+        assert np.array_equal(got["window"], cyclic_placement(data, win))

@@ -1,0 +1,65 @@
+"""DPRINT cost model: free when the print server is detached, billed when on."""
+
+import numpy as np
+
+from repro.arch.tensix import DATA_MOVER_0
+from repro.perfmodel.calibration import DEFAULT_COSTS
+from repro.ttmetal import CreateKernel, EnqueueProgram, Finish, Program
+
+
+def run(device, fn, args=None):
+    prog = Program(device)
+    CreateKernel(prog, fn, device.core(0, 0), DATA_MOVER_0, args or {})
+    EnqueueProgram(device, prog, lint="off")
+    return Finish(device)
+
+
+def chatty_kernel(ctx):
+    for i in range(10):
+        yield from ctx.dprint(f"step {i}")
+    yield from ctx.memcpy(64, 0, 32)
+
+
+class TestDisabled:
+    def test_costs_exactly_zero_time(self, device_factory):
+        """A compiled-out DPRINT must not change the simulated runtime."""
+        def quiet_kernel(ctx):
+            yield from ctx.memcpy(64, 0, 32)
+        t_with = run(device_factory(), chatty_kernel)
+        t_without = run(device_factory(), quiet_kernel)
+        assert t_with == t_without
+
+    def test_no_messages_logged(self, device):
+        run(device, chatty_kernel)
+        assert device.dprint_log == []
+
+    def test_dprint_is_still_a_generator(self, device):
+        """The ``return``-before-``yield`` idiom must keep dprint yieldable
+        so ``yield from ctx.dprint(...)`` works in both modes."""
+        captured = {}
+
+        def kernel(ctx):
+            gen = ctx.dprint("x")
+            captured["is_gen"] = hasattr(gen, "__next__")
+            yield from gen
+            yield from ctx.memcpy(64, 0, 32)
+        run(device, kernel)
+        assert captured["is_gen"]
+
+
+class TestEnabled:
+    def test_messages_logged_with_metadata(self, device):
+        device.print_server_enabled = True
+        run(device, chatty_kernel)
+        assert len(device.dprint_log) == 10
+        t, coord, slot, message = device.dprint_log[0]
+        assert coord == (0, 0)
+        assert slot == DATA_MOVER_0
+        assert message == "step 0"
+
+    def test_each_message_costs_dprint_cost(self, device_factory):
+        dev_on = device_factory()
+        dev_on.print_server_enabled = True
+        t_on = run(dev_on, chatty_kernel)
+        t_off = run(device_factory(), chatty_kernel)
+        assert np.isclose(t_on - t_off, 10 * DEFAULT_COSTS.dprint_cost)

@@ -18,8 +18,12 @@ from repro.ttmetal import (
 from repro.ttmetal.kernel_api import KernelError, NocAddr
 
 
-def launch(device, kernels, cbs=(), sems=()):
-    """Helper: build and run a single-core program; returns wall time."""
+def launch(device, kernels, cbs=(), sems=(), lint=None):
+    """Helper: build and run a single-core program; returns wall time.
+
+    ``lint="off"`` for tests that deliberately break the protocol to
+    exercise the *runtime* error path the static verifier would preempt.
+    """
     prog = Program(device)
     core = device.core(0, 0)
     for cb_id, page, pages in cbs:
@@ -28,7 +32,7 @@ def launch(device, kernels, cbs=(), sems=()):
         CreateSemaphore(prog, core, sem_id, initial)
     for fn, slot, args in kernels:
         CreateKernel(prog, fn, core, slot, args)
-    EnqueueProgram(device, prog)
+    EnqueueProgram(device, prog, lint=lint)
     return Finish(device)
 
 
@@ -255,7 +259,7 @@ class TestCbAndSemaphores:
         def k(ctx):
             yield from ctx.cb_wait_front(7, 1)
         with pytest.raises(Exception) as ei:
-            launch(device, [(k, DATA_MOVER_0, {})])
+            launch(device, [(k, DATA_MOVER_0, {})], lint="off")
         assert "no CB 7" in str(ei.value.__cause__)
 
     def test_semaphore_handoff(self, device):
@@ -286,7 +290,7 @@ class TestCbAndSemaphores:
         def k(ctx):
             yield from ctx.semaphore_inc(3, 1)
         with pytest.raises(Exception) as ei:
-            launch(device, [(k, DATA_MOVER_0, {})])
+            launch(device, [(k, DATA_MOVER_0, {})], lint="off")
         assert "no semaphore" in str(ei.value.__cause__)
 
     def test_missing_arg_raises(self, device):
@@ -294,7 +298,7 @@ class TestCbAndSemaphores:
             ctx.arg("nonexistent")
             yield ctx.sim.timeout(0)
         with pytest.raises(Exception) as ei:
-            launch(device, [(k, DATA_MOVER_0, {})])
+            launch(device, [(k, DATA_MOVER_0, {})], lint="off")
         assert "missing runtime arg" in str(ei.value.__cause__)
 
     def test_arg_default(self, device):

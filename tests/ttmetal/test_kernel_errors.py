@@ -1,0 +1,69 @@
+"""KernelError paths: bad CB/semaphore ids, missing args, bad slots, memcpy."""
+
+import re
+
+import pytest
+
+from repro.arch.tensix import DATA_MOVER_0
+from repro.sim import SimulationError
+from repro.ttmetal import CreateKernel, EnqueueProgram, Finish, Program
+from repro.ttmetal.kernel_api import DataMoverCtx, KernelError
+
+
+def run_kernel(device, fn, args=None):
+    prog = Program(device)
+    CreateKernel(prog, fn, device.core(0, 0), DATA_MOVER_0, args or {})
+    EnqueueProgram(device, prog, lint="off")
+    return Finish(device)
+
+
+def assert_kernel_error(device, fn, match, args=None):
+    """A kernel bug crashes the sim with the KernelError as the cause."""
+    with pytest.raises(SimulationError) as exc_info:
+        run_kernel(device, fn, args)
+    cause = exc_info.value.__cause__
+    assert isinstance(cause, KernelError)
+    assert re.search(match, str(cause))
+
+
+class TestMissingIds:
+    def test_missing_cb_id(self, device):
+        def kernel(ctx):
+            yield from ctx.cb_reserve_back(9, 1)
+        assert_kernel_error(device, kernel, "9")
+
+    def test_missing_semaphore_id(self, device):
+        def kernel(ctx):
+            yield from ctx.semaphore_inc(4, 1)
+        assert_kernel_error(device, kernel, "4")
+
+    def test_missing_runtime_arg(self, device):
+        def kernel(ctx):
+            value = ctx.arg("not_there")
+            yield from ctx.memcpy(0, 64, value)
+        assert_kernel_error(device, kernel, "not_there")
+
+    def test_default_suppresses_missing_arg(self, device):
+        def kernel(ctx):
+            assert ctx.arg("not_there", default=17) == 17
+            yield from ctx.memcpy(64, 0, 32)
+        run_kernel(device, kernel)
+
+
+class TestInvalidSlot:
+    def test_bogus_data_mover_slot(self, device):
+        with pytest.raises(KernelError, match="bogus"):
+            DataMoverCtx(device.core(0, 0), "bogus")
+
+
+class TestMemcpyRowsValidation:
+    @pytest.mark.parametrize("rows,row_bytes", [(0, 64), (3, 0), (-1, 64)])
+    def test_nonpositive_dimensions_rejected(self, device, rows, row_bytes):
+        def kernel(ctx):
+            yield from ctx.memcpy_rows(0, 128, 4096, 128, row_bytes, rows)
+        assert_kernel_error(device, kernel, "positive")
+
+    def test_valid_memcpy_rows_runs(self, device):
+        def kernel(ctx):
+            yield from ctx.memcpy_rows(0, 128, 4096, 128, 64, 3)
+        run_kernel(device, kernel)
