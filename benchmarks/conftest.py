@@ -19,6 +19,18 @@ import pytest
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
 
+def pytest_collection_modifyitems(items):
+    """Every test under ``benchmarks/`` is tier-2 by construction.
+
+    Tier 1 (``pytest -x -q``, testpaths=tests) stays fast; the slow
+    table reproductions and the perf suite carry the ``tier2`` marker
+    (registered in pyproject.toml) so ``pytest benchmarks/ -m tier2``
+    and CI dashboards can select them explicitly.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.tier2)
+
+
 def save_and_print(result):
     """Persist a rendered experiment table and echo it to the terminal."""
     os.makedirs(OUTPUT_DIR, exist_ok=True)

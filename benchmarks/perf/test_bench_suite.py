@@ -1,0 +1,68 @@
+"""Tier-2 perf suite: executes ``repro bench`` end to end.
+
+These tests run the real benchmark bodies (the same ones the
+``repro bench`` CLI and the CI smoke job use) and pin two things:
+
+* the emitted document keeps the ``repro-bench/1`` schema, so the
+  BENCH_*.json perf trajectory stays machine-readable across PRs;
+* the determinism invariants recorded by the smoke suite match the
+  committed baseline bit for bit — invariants are machine-independent,
+  so this asserts simulation semantics, not speed.
+
+Wall-clock values are intentionally *not* asserted here (machines
+differ); the 20%-regression gate lives in the CI job via
+``repro bench --smoke --check``.
+"""
+
+import json
+import pathlib
+
+from repro import bench
+
+BASELINE = pathlib.Path(__file__).parent / "baseline_smoke.json"
+
+
+def test_smoke_suite_schema_and_coverage():
+    doc = bench.run_benchmarks(smoke=True, reps=1)
+    assert doc["schema"] == bench.SCHEMA
+    assert doc["smoke"] is True
+    names = [r["name"] for r in doc["results"]]
+    assert names == list(bench.BENCHMARKS)
+    kinds = {r["kind"] for r in doc["results"]}
+    assert kinds == {"micro", "macro"}
+    for r in doc["results"]:
+        assert r["value"] > 0
+        assert r["invariants"], f"{r['name']} records no invariants"
+        assert isinstance(r["higher_is_better"], bool)
+
+
+def test_smoke_invariants_match_committed_baseline():
+    """The simulator computes exactly what it computed at baseline time."""
+    baseline = json.loads(BASELINE.read_text())
+    doc = bench.run_benchmarks(smoke=True, reps=1)
+    base_inv = {r["name"]: r["invariants"] for r in baseline["results"]}
+    cur_inv = {r["name"]: r["invariants"] for r in doc["results"]}
+    assert cur_inv == base_inv
+
+
+def test_full_macro_multicore_invariants():
+    """The full-grid (108-worker) macro run is deterministic and big."""
+    doc = bench.run_benchmarks(smoke=False, reps=1,
+                               only=["jacobi_multicore"])
+    (res,) = doc["results"]
+    inv = res["invariants"]
+    assert inv["events"] > 100_000
+    assert inv["sim_now"] > 0
+    assert len(inv["grid_sha"]) == 16
+    # run again: identical invariants (the in-run reps check only covers
+    # repetitions inside one run_benchmarks call)
+    doc2 = bench.run_benchmarks(smoke=False, reps=1,
+                                only=["jacobi_multicore"])
+    assert doc2["results"][0]["invariants"] == inv
+
+
+def test_report_roundtrip(tmp_path):
+    doc = bench.run_benchmarks(smoke=True, reps=1, only=["engine_events"])
+    out = tmp_path / "bench.json"
+    bench.write_report(doc, str(out))
+    assert json.loads(out.read_text()) == doc

@@ -98,6 +98,30 @@ class CircularBuffer:
     def _slot_addr(self, abs_page: int) -> int:
         return self.base + (abs_page % self.n_pages) * self.page_size
 
+    # -- synchronous fast paths ----------------------------------------------
+    # The kernel API consults these before building a blocking event: a
+    # satisfiable handshake commits in one call, with no Event, no heap
+    # entry and no extra resume of the calling process.  FIFO fairness is
+    # preserved because the fast path refuses whenever earlier requests are
+    # still queued (the caller then lines up behind them via the event
+    # path), and a wedged CB always refuses so injected flow-control faults
+    # still hang producers and consumers exactly as before.
+    def try_reserve(self, n: int = 1) -> bool:
+        """Reserve ``n`` pages immediately if possible; never blocks."""
+        if not 0 < n <= self.n_pages:
+            raise CBError(f"{self.name}: cannot reserve {n} of {self.n_pages} pages")
+        if self.wedged or self._reserve_q or self.pages_free < n:
+            return False
+        self._reserved += n
+        return True
+
+    def try_wait(self, n: int = 1) -> bool:
+        """``True`` iff ``n`` pages are committed and a wait would not block."""
+        if not 0 < n <= self.n_pages:
+            raise CBError(f"{self.name}: cannot wait for {n} of {self.n_pages} pages")
+        return not self.wedged and not self._wait_q \
+            and self.pages_committed >= n
+
     # -- producer side -------------------------------------------------------
     def reserve_back(self, n: int = 1) -> Event:
         """Block until ``n`` pages are free, then reserve them."""

@@ -135,13 +135,17 @@ class DramBank:
                 del self._injected_flips[a]
 
     # -- functional access (timing handled by the NoC) --------------------
-    def read(self, addr: int, size: int) -> np.ndarray:
+    def read(self, addr: int, size: int, *, requests: int = 1) -> np.ndarray:
         """Fetch ``size`` bytes; unaligned addresses return shifted data.
 
         Returns a *copy* (the DMA engine snapshots the bank at issue time).
+        ``requests`` is the number of logical DMA requests this range
+        represents — the NoC passes >1 when it coalesces a run of
+        contiguous aligned reads into one storage access, keeping the
+        per-bank request counters identical to the uncoalesced form.
         """
         self._check(addr, size)
-        self.reads += 1
+        self.reads += requests
         align = self.costs.dram_alignment
         if addr % align:
             # DMA fetches from the aligned-down address: the caller gets
@@ -154,12 +158,18 @@ class DramBank:
         self._scrub(addr, size)
         return self.storage[addr:addr + size].copy()
 
-    def write(self, addr: int, data: np.ndarray) -> None:
-        """Store bytes; non-contiguous unaligned writes corrupt (see module doc)."""
+    def write(self, addr: int, data: np.ndarray, *,
+              requests: int = 1) -> None:
+        """Store bytes; non-contiguous unaligned writes corrupt (see module doc).
+
+        ``requests`` mirrors :meth:`read`: a coalesced run of contiguous
+        aligned writes is stored in one pass but still counted as the
+        original number of controller requests.
+        """
         data = np.asarray(data, dtype=np.uint8).ravel()
         size = data.size
         self._check(addr, size)
-        self.writes += 1
+        self.writes += requests
         self._clear_flips(addr, size)
         align = self.costs.dram_alignment
         if addr % align:

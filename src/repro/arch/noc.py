@@ -62,6 +62,69 @@ class WriteJob:
     data: np.ndarray
 
 
+def _coalesce_reads(jobs: Sequence[ReadJob], align: int):
+    """Group a burst into maximal runs of mergeable reads.
+
+    Yields ``(bank_id, addr, size, run)`` tuples in job order.  Jobs merge
+    only when the combined storage access is byte-for-byte equivalent to
+    issuing them one at a time: same bank, exactly contiguous, and every
+    address ``align``-aligned (so the unaligned shifted-read emulation
+    never applies inside a run and job boundaries coincide with ECC-word
+    boundaries, keeping the scrub grouping identical).
+    """
+    run: list[ReadJob] = []
+    run_end = 0
+    for job in jobs:
+        if run and job.bank_id == run[0].bank_id and job.addr == run_end \
+                and job.addr % align == 0:
+            run.append(job)
+            run_end += job.size
+            continue
+        if run:
+            first = run[0]
+            yield first.bank_id, first.addr, run_end - first.addr, run
+        run = [job]
+        run_end = job.addr + job.size
+        if job.addr % align:
+            # unaligned start: never extend (shifted-read semantics)
+            yield job.bank_id, job.addr, job.size, run
+            run = []
+    if run:
+        first = run[0]
+        yield first.bank_id, first.addr, run_end - first.addr, run
+
+
+def _coalesce_writes(jobs: Sequence["WriteJob"], align: int):
+    """Like :func:`_coalesce_reads` for write bursts.
+
+    Runs require aligned contiguous same-bank payloads so the merge
+    heuristic, corruption emulation and flip-clearing behave exactly as
+    for individual writes.
+    """
+    run: list[WriteJob] = []
+    run_end = 0
+    sizes: list[int] = []
+    for job in jobs:
+        size = int(np.asarray(job.data).size)
+        if run and job.bank_id == run[0].bank_id and job.addr == run_end \
+                and job.addr % align == 0:
+            run.append(job)
+            sizes.append(size)
+            run_end += size
+            continue
+        if run:
+            yield run[0].bank_id, run[0].addr, sizes, run
+        run = [job]
+        sizes = [size]
+        run_end = job.addr + size
+        if job.addr % align:
+            yield job.bank_id, job.addr, sizes, run
+            run = []
+            sizes = []
+    if run:
+        yield run[0].bank_id, run[0].addr, sizes, run
+
+
 class Noc:
     """One of the two NoCs: shared access to the DRAM bank ports."""
 
@@ -82,6 +145,7 @@ class Noc:
         self._pending_faults: deque = deque()
         self.injected_delays = 0
         self.injected_drops = 0
+        self._done_name = f"noc{noc_id}.done"
 
     def new_link(self, name: str) -> FifoServer:
         """A data-mover's private injection link onto this NoC."""
@@ -106,12 +170,22 @@ class Noc:
             return ev
         total = 0
         per_bank: dict[int, int] = {}
-        for job in jobs:
-            data = self.dram.bank(job.bank_id).read(job.addr, job.size)
+        align = self.costs.dram_alignment
+        for bank_id, addr, size, run in _coalesce_reads(jobs, align):
+            data = self.dram.bank(bank_id).read(addr, size,
+                                                requests=len(run))
             if out is not None:
-                out.append(data)
-            total += job.size
-            per_bank[job.bank_id] = per_bank.get(job.bank_id, 0) + job.size
+                if len(run) == 1:
+                    out.append(data)
+                else:
+                    # Split the merged snapshot back into per-job views so
+                    # callers see the exact chunks they asked for.
+                    off = 0
+                    for job in run:
+                        out.append(data[off:off + job.size])
+                        off += job.size
+            total += size
+            per_bank[bank_id] = per_bank.get(bank_id, 0) + size
         self.stats.read_requests += len(jobs)
         self.stats.read_bytes += total
 
@@ -165,11 +239,19 @@ class Noc:
             return ev
         total = 0
         per_bank: dict[int, int] = {}
-        for job in jobs:
-            self.dram.bank(job.bank_id).write(job.addr, job.data)
-            n = int(np.asarray(job.data).size)
+        align = self.costs.dram_alignment
+        for bank_id, addr, sizes, run in _coalesce_writes(jobs, align):
+            if len(run) == 1:
+                self.dram.bank(bank_id).write(addr, run[0].data)
+            else:
+                merged = np.concatenate(
+                    [np.asarray(j.data, dtype=np.uint8).ravel()
+                     for j in run])
+                self.dram.bank(bank_id).write(addr, merged,
+                                              requests=len(run))
+            n = sum(sizes)
             total += n
-            per_bank[job.bank_id] = per_bank.get(job.bank_id, 0) + n
+            per_bank[bank_id] = per_bank.get(bank_id, 0) + n
         self.stats.write_requests += len(jobs)
         self.stats.write_bytes += total
 
@@ -240,14 +322,30 @@ class Noc:
 
     def _completion(self, done_events: Iterable[Event],
                     latency: float) -> Event:
-        """Completion = all bookings drained + exposed latency."""
+        """Completion = all bookings drained + exposed latency.
+
+        Booking events (FifoServer completions) cannot fail, so instead of
+        an :class:`~repro.sim.AllOf` gate — an extra heap entry plus a
+        composite event per transfer — a counting callback fires the
+        completion directly from the last booking's own callback list.
+        """
         events = list(done_events)
-        ev = self.sim.event(name=f"noc{self.noc_id}.done")
-        gate = self.sim.all_of(events)
+        ev = Event(self.sim, self._done_name)
         total_latency = latency + self._consume_fault(latency)
 
-        def _fire(_g):
-            ev.succeed(delay=total_latency)
+        if len(events) == 1:
+            events[0].add_callback(
+                lambda _e: ev.succeed(delay=total_latency))
+            return ev
 
-        gate.add_callback(_fire)
+        remaining = len(events)
+
+        def _arm(_e):
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                ev.succeed(delay=total_latency)
+
+        for booking in events:
+            booking.add_callback(_arm)
         return ev

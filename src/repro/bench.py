@@ -1,0 +1,379 @@
+"""``repro bench`` — the standing micro/macro performance benchmark suite.
+
+The simulator is the substrate every experiment, fault campaign and lint
+sweep runs on, so its speed is a first-class deliverable.  This module
+measures it two ways:
+
+* **micro** benchmarks time one hot path in isolation — raw engine event
+  throughput, CB handshake round-trips, NoC burst issue — and report a
+  throughput (higher is better);
+* **macro** benchmarks time the paper's workloads end to end — the
+  single-core and full-grid (12x9 = 108 worker) Jacobi solves and a
+  streaming sweep — and report wall-clock seconds (lower is better).
+
+Every benchmark also records *invariants*: the final simulated time,
+total events processed and (for solves) a hash of the result grid.
+Invariants are machine-independent — they must be byte-identical from
+run to run and from laptop to CI — so a baseline comparison separates
+"the simulator got slower" (tolerance applies) from "the simulator got
+*different*" (always a failure).
+
+Results serialise to a schema-stable JSON document
+(``repro-bench/1``)::
+
+    python -m repro bench                 # full suite -> BENCH_<date>.json
+    python -m repro bench --smoke         # reduced sizes (CI)
+    python -m repro bench --smoke --check # compare vs committed baseline
+
+``benchmarks/perf/baseline_smoke.json`` is the committed baseline the CI
+smoke job regresses against.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+SCHEMA = "repro-bench/1"
+
+#: default committed baseline for ``--smoke --check`` (repo-relative)
+SMOKE_BASELINE = "benchmarks/perf/baseline_smoke.json"
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's outcome: a perf metric plus determinism invariants."""
+
+    name: str
+    kind: str                  # "micro" | "macro"
+    metric: str                # e.g. "events_per_sec", "wall_s"
+    value: float
+    unit: str
+    higher_is_better: bool
+    invariants: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "metric": self.metric,
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "invariants": self.invariants,
+        }
+
+
+class BenchError(RuntimeError):
+    """A benchmark produced inconsistent results across repetitions."""
+
+
+# --------------------------------------------------------------------------
+# micro benchmarks
+# --------------------------------------------------------------------------
+
+def _bench_engine(smoke: bool) -> Tuple[float, float, Dict[str, object]]:
+    """Raw engine throughput: one process yielding N chained timeouts."""
+    from repro.sim import Simulator, Timeout
+
+    n = 20_000 if smoke else 200_000
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n):
+            yield Timeout(sim, 1e-9)
+
+    sim.process(proc(), name="bench.engine")
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    inv = {"events": sim.events_processed, "sim_now": sim.now}
+    return wall, sim.events_processed / wall, inv
+
+
+def _bench_cb_roundtrip(smoke: bool) -> Tuple[float, float, Dict[str, object]]:
+    """Producer/consumer CB handshakes through a 2-page circular buffer."""
+    from repro.arch.cb import CircularBuffer
+    from repro.arch.sram import Sram
+    from repro.sim import Simulator
+
+    n = 10_000 if smoke else 100_000
+    sim = Simulator()
+    cb = CircularBuffer(sim, Sram(), 0, page_size=64, n_pages=2,
+                        name="bench.cb")
+
+    def producer():
+        for _ in range(n):
+            yield cb.reserve_back(1)
+            cb.push_back(1)
+
+    def consumer():
+        for _ in range(n):
+            yield cb.wait_front(1)
+            cb.pop_front(1)
+
+    sim.process(producer(), name="bench.cb.producer")
+    sim.process(consumer(), name="bench.cb.consumer")
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    inv = {"events": sim.events_processed, "sim_now": sim.now,
+           "pages": n}
+    return wall, n / wall, inv
+
+
+def _bench_noc_burst(smoke: bool) -> Tuple[float, float, Dict[str, object]]:
+    """NoC read-burst issue rate: batched contiguous DRAM page reads."""
+    from repro.arch.dram import Dram
+    from repro.arch.noc import Noc, ReadJob
+    from repro.sim import Simulator
+
+    batches = 50 if smoke else 500
+    jobs_per_batch = 32
+    page = 1024
+    sim = Simulator()
+    dram = Dram(sim, bank_capacity=8 << 20)
+    noc = Noc(sim, 0, dram)
+    link = noc.new_link("bench")
+    n_jobs = batches * jobs_per_batch
+
+    def proc():
+        for b in range(batches):
+            base = (b % 64) * jobs_per_batch * page
+            jobs = [ReadJob(bank_id=b % dram.n_banks,
+                            addr=base + j * page, size=page)
+                    for j in range(jobs_per_batch)]
+            yield noc.read_burst(link, jobs)
+
+    sim.process(proc(), name="bench.noc")
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    inv = {"events": sim.events_processed, "sim_now": sim.now,
+           "read_requests": noc.stats.read_requests,
+           "read_bytes": noc.stats.read_bytes}
+    return wall, n_jobs / wall, inv
+
+
+# --------------------------------------------------------------------------
+# macro benchmarks
+# --------------------------------------------------------------------------
+
+def _grid_hash(grid_bits) -> str:
+    import hashlib
+
+    import numpy as np
+    return hashlib.sha256(
+        np.ascontiguousarray(grid_bits).tobytes()).hexdigest()[:16]
+
+
+def _run_jacobi(nx: int, ny: int, cores_y: int, cores_x: int,
+                iterations: int) -> Tuple[float, Dict[str, object]]:
+    from repro.arch.device import GrayskullDevice
+    from repro.core.grid import LaplaceProblem
+    from repro.core.jacobi_optimized import OptimizedJacobiRunner
+
+    dev = GrayskullDevice(dram_bank_capacity=64 << 20)
+    runner = OptimizedJacobiRunner(dev, LaplaceProblem(nx=nx, ny=ny),
+                                   cores_y=cores_y, cores_x=cores_x)
+    t0 = time.perf_counter()
+    res = runner.run(iterations)
+    wall = time.perf_counter() - t0
+    inv = {"events": dev.sim.events_processed, "sim_now": dev.sim.now,
+           "kernel_time_s": res.kernel_time_s,
+           "grid_sha": _grid_hash(res.grid_bits)}
+    return wall, inv
+
+
+def _bench_jacobi_single(smoke: bool) -> Tuple[float, float,
+                                               Dict[str, object]]:
+    """Single-core optimised Jacobi (the Table I/II workload shape).
+
+    The smoke size is chosen so the wall time stays >~0.1 s: much
+    smaller runs time mostly interpreter warm-up, and the CI regression
+    gate would trip on scheduler noise rather than real slowdowns.
+    """
+    wall, inv = _run_jacobi(96, 96, 1, 1, 3)
+    return wall, wall, inv
+
+
+def _bench_jacobi_multicore(smoke: bool) -> Tuple[float, float,
+                                                  Dict[str, object]]:
+    """Full-grid multicore Jacobi: 12x9 = 108 workers (4x4 in smoke)."""
+    if smoke:
+        wall, inv = _run_jacobi(128, 128, 4, 4, 2)
+    else:
+        wall, inv = _run_jacobi(288, 216, 12, 9, 2)
+    return wall, wall, inv
+
+
+def _bench_stream_sweep(smoke: bool) -> Tuple[float, float,
+                                              Dict[str, object]]:
+    """Streaming sweep: async batched + sync single-row configurations."""
+    from repro.streaming import StreamConfig, run_streaming
+
+    rows = 128 if smoke else 256
+    configs = [
+        ("async_b64", StreamConfig(rows=rows, row_elems=1024,
+                                   read_batch=64)),
+        ("sync", StreamConfig(rows=rows, row_elems=1024,
+                              sync_read=True, sync_write=True)),
+    ]
+    inv: Dict[str, object] = {}
+    t0 = time.perf_counter()
+    for label, cfg in configs:
+        res = run_streaming(cfg)
+        inv[f"{label}_runtime_s"] = res.runtime_s
+        inv[f"{label}_read_bw"] = res.read_bw
+    wall = time.perf_counter() - t0
+    return wall, wall, inv
+
+
+# --------------------------------------------------------------------------
+# runner
+# --------------------------------------------------------------------------
+
+#: name -> (kind, metric, unit, higher_is_better, callable)
+BENCHMARKS: Dict[str, Tuple[str, str, str, bool, Callable]] = {
+    "engine_events": ("micro", "events_per_sec", "1/s", True,
+                      _bench_engine),
+    "cb_roundtrip": ("micro", "roundtrips_per_sec", "1/s", True,
+                     _bench_cb_roundtrip),
+    "noc_burst": ("micro", "jobs_per_sec", "1/s", True, _bench_noc_burst),
+    "jacobi_single": ("macro", "wall_s", "s", False, _bench_jacobi_single),
+    "jacobi_multicore": ("macro", "wall_s", "s", False,
+                         _bench_jacobi_multicore),
+    "stream_sweep": ("macro", "wall_s", "s", False, _bench_stream_sweep),
+}
+
+
+def run_benchmarks(smoke: bool = False, reps: int = 3,
+                   only: Optional[List[str]] = None,
+                   log: Optional[Callable[[str], None]] = None) -> dict:
+    """Run the suite and return the ``repro-bench/1`` document.
+
+    Each benchmark runs ``reps`` times; the best perf value is kept
+    (min wall / max throughput) while the invariants must be identical
+    across repetitions — a mismatch raises :class:`BenchError`, because
+    a nondeterministic simulator invalidates every other number in the
+    file.
+    """
+    from repro.sim.engine import _fastpath_default
+
+    names = list(BENCHMARKS) if not only else list(only)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(f"unknown benchmark(s): {', '.join(unknown)} "
+                         f"(available: {', '.join(BENCHMARKS)})")
+    results: List[BenchResult] = []
+    for name in names:
+        kind, metric, unit, higher, fn = BENCHMARKS[name]
+        best: Optional[float] = None
+        inv0: Optional[Dict[str, object]] = None
+        for rep in range(max(1, reps)):
+            _wall, value, inv = fn(smoke)
+            if inv0 is None:
+                inv0 = inv
+            elif inv != inv0:
+                raise BenchError(
+                    f"benchmark {name!r} invariants changed between "
+                    f"repetitions: {inv0!r} != {inv!r}")
+            if best is None or (value > best if higher else value < best):
+                best = value
+        assert best is not None and inv0 is not None
+        results.append(BenchResult(name=name, kind=kind, metric=metric,
+                                   value=best, unit=unit,
+                                   higher_is_better=higher,
+                                   invariants=inv0))
+        if log is not None:
+            log(f"  {name:<18} {metric} = {best:,.6g} {unit}")
+    return {
+        "schema": SCHEMA,
+        "date": datetime.date.today().isoformat(),
+        "smoke": bool(smoke),
+        "reps": int(reps),
+        "fastpath": _fastpath_default(),
+        "python": platform.python_version(),
+        "results": [r.to_json() for r in results],
+    }
+
+
+def write_report(doc: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+
+
+def default_report_path(date: Optional[str] = None) -> str:
+    return f"BENCH_{date or datetime.date.today().isoformat()}.json"
+
+
+# --------------------------------------------------------------------------
+# baseline comparison
+# --------------------------------------------------------------------------
+
+def compare(current: dict, baseline: dict,
+            tolerance: float = 0.20) -> List[str]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Returns human-readable failure strings (empty = pass).  Perf metrics
+    may drift within ``tolerance`` (relative); invariants must match
+    exactly — they are machine-independent, so any drift is a semantic
+    change in the simulator, not noise.
+    """
+    failures: List[str] = []
+    if current.get("schema") != baseline.get("schema"):
+        failures.append(
+            f"schema mismatch: {current.get('schema')!r} vs baseline "
+            f"{baseline.get('schema')!r}")
+        return failures
+    if bool(current.get("smoke")) != bool(baseline.get("smoke")):
+        failures.append(
+            "smoke/full mismatch: comparing a "
+            f"{'smoke' if current.get('smoke') else 'full'} run against a "
+            f"{'smoke' if baseline.get('smoke') else 'full'} baseline")
+        return failures
+    cur = {r["name"]: r for r in current.get("results", [])}
+    for base in baseline.get("results", []):
+        name = base["name"]
+        now = cur.get(name)
+        if now is None:
+            failures.append(f"{name}: benchmark missing from current run")
+            continue
+        if now.get("invariants") != base.get("invariants"):
+            failures.append(
+                f"{name}: invariants changed (simulation semantics "
+                f"drifted): {base.get('invariants')!r} -> "
+                f"{now.get('invariants')!r}")
+        b, c = float(base["value"]), float(now["value"])
+        if base.get("higher_is_better"):
+            if c < b * (1.0 - tolerance):
+                failures.append(
+                    f"{name}: {base['metric']} regressed "
+                    f"{(1 - c / b) * 100:.1f}% ({b:,.6g} -> {c:,.6g}, "
+                    f"tolerance {tolerance * 100:.0f}%)")
+        else:
+            if c > b * (1.0 + tolerance):
+                failures.append(
+                    f"{name}: {base['metric']} regressed "
+                    f"{(c / b - 1) * 100:.1f}% ({b:,.6g} -> {c:,.6g}, "
+                    f"tolerance {tolerance * 100:.0f}%)")
+    return failures
+
+
+def render(doc: dict) -> str:
+    """A small fixed-width table of the document's results."""
+    lines = [f"repro bench  schema={doc['schema']}  date={doc['date']}  "
+             f"smoke={doc['smoke']}  fastpath={doc['fastpath']}",
+             f"{'benchmark':<18} {'kind':<6} {'metric':<18} "
+             f"{'value':>14}  invariants"]
+    for r in doc["results"]:
+        inv = ", ".join(f"{k}={v}" for k, v in
+                        list(r["invariants"].items())[:3])
+        lines.append(f"{r['name']:<18} {r['kind']:<6} {r['metric']:<18} "
+                     f"{r['value']:>14,.6g}  {inv}")
+    return "\n".join(lines)

@@ -9,6 +9,7 @@ Commands
 ``profile``  run the optimised kernel and print the busy/stall profile
 ``faults``   run a seeded fault-injection campaign (or the watchdog demo)
 ``lint``     statically verify every shipped kernel and program
+``bench``    run the perf benchmark suite, emit BENCH_<date>.json
 
 Examples::
 
@@ -22,6 +23,7 @@ Examples::
     python -m repro faults --hang-demo
     python -m repro lint
     python -m repro lint --list-rules
+    python -m repro bench --smoke --check
 """
 
 from __future__ import annotations
@@ -117,6 +119,26 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the rule catalogue and exit")
     li.add_argument("--skip-examples", action="store_true",
                     help="do not lint the examples/ scripts")
+
+    be = sub.add_parser(
+        "bench", help="run the micro/macro performance benchmark suite")
+    be.add_argument("--smoke", action="store_true",
+                    help="reduced problem sizes (the CI configuration)")
+    be.add_argument("--out", default=None,
+                    help="output JSON path (default: BENCH_<date>.json)")
+    be.add_argument("--reps", type=int, default=3,
+                    help="repetitions per benchmark; best value is kept")
+    be.add_argument("--only", default=None,
+                    help="comma-separated benchmark names to run")
+    be.add_argument("--baseline", default=None,
+                    help="baseline JSON to compare against (default with "
+                         "--check: benchmarks/perf/baseline_smoke.json)")
+    be.add_argument("--check", action="store_true",
+                    help="exit 1 if any benchmark regresses beyond "
+                         "--tolerance or any invariant changes")
+    be.add_argument("--tolerance", type=float, default=0.20,
+                    help="relative perf-regression tolerance for --check "
+                         "(default 0.20; invariants always compare exact)")
     return p
 
 
@@ -333,6 +355,40 @@ def _lint_examples() -> None:
                 module.main()
 
 
+def _cmd_bench(args) -> int:
+    import json
+    import os
+
+    from repro import bench
+
+    only = [s.strip() for s in args.only.split(",")] if args.only else None
+    print(f"running {'smoke' if args.smoke else 'full'} benchmark suite "
+          f"({args.reps} rep(s) each)...")
+    doc = bench.run_benchmarks(smoke=args.smoke, reps=args.reps,
+                               only=only, log=print)
+    out = args.out or bench.default_report_path()
+    bench.write_report(doc, out)
+    print(bench.render(doc))
+    print(f"report written to {out}")
+    if not args.check:
+        return 0
+    baseline_path = args.baseline or bench.SMOKE_BASELINE
+    if not os.path.exists(baseline_path):
+        print(f"FAILED: baseline {baseline_path} not found")
+        return 1
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = bench.compare(doc, baseline, tolerance=args.tolerance)
+    if failures:
+        print(f"FAILED: {len(failures)} regression(s) vs {baseline_path}:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"OK: no regressions vs {baseline_path} "
+          f"(tolerance {args.tolerance * 100:.0f}%)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -343,6 +399,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _cmd_profile,
         "faults": _cmd_faults,
         "lint": _cmd_lint,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)
 

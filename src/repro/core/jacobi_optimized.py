@@ -176,6 +176,12 @@ def _compute_kernel(ctx):
     for _ in range(iterations):
         for _x0, _w in cols:
             for r in range(sub.ny):
+                # The fused charge region opens before the input waits:
+                # a wait only *reads* shared CB state, so its charge can
+                # coalesce with the pipeline's (a wait that actually
+                # blocks flushes first and blocks at the exact unfused
+                # instant — see _CtxBase.fused_begin).
+                ctx.fused_begin()
                 yield from ctx.cb_wait_front(CB_IN0, 1)
                 yield from ctx.cb_wait_front(CB_IN1, 1)
                 yield from ctx.cb_wait_front(CB_IN2, 1)
@@ -187,10 +193,11 @@ def _compute_kernel(ctx):
                 centre = base + ((r + 1) % N_SLOTS) * sb + slack
                 above = base + (r % N_SLOTS) * sb + slack
                 below = base + ((r + 2) % N_SLOTS) * sb + slack
-                yield from ctx.cb_set_rd_ptr(CB_IN0, centre)               # x-1
-                yield from ctx.cb_set_rd_ptr(CB_IN1, centre + 2 * BF16_BYTES)  # x+1
-                yield from ctx.cb_set_rd_ptr(CB_IN2, above + BF16_BYTES)   # y-1
-                yield from ctx.cb_set_rd_ptr(CB_IN3, below + BF16_BYTES)   # y+1
+                yield from ctx.cb_set_rd_ptrs(
+                    (CB_IN0, centre),                        # x-1
+                    (CB_IN1, centre + 2 * BF16_BYTES),       # x+1
+                    (CB_IN2, above + BF16_BYTES),            # y-1
+                    (CB_IN3, below + BF16_BYTES))            # y+1
 
                 if cfg.accumulate_in_dst:
                     # The rejected ablation (Section IV): accumulate in the
@@ -210,6 +217,9 @@ def _compute_kernel(ctx):
                     yield from ctx._elapse(6 * ctx.costs.fpu_op)
                     ctx.fpu._dst[dst0] = (
                         ctx.fpu._dst[dst0] * np.float32(0.25)).astype(np.float32)
+                    # The pops wake the reader: they must leave the
+                    # fused region.
+                    yield from ctx.fused_end()
                     yield from ctx.cb_pop_front(CB_IN0, 1)
                     yield from ctx.cb_pop_front(CB_IN1, 1)
                     yield from ctx.cb_pop_front(CB_IN2, 1)
@@ -219,7 +229,11 @@ def _compute_kernel(ctx):
                     yield from ctx.cb_push_back(CB_OUT0, 1)
                     continue
 
-                # Listing-2 pipeline on the aliased rows.
+                # Listing-2 pipeline on the aliased rows.  The whole chain
+                # is core-private (FPU registers plus the self-looped
+                # INTERMED ping-pong buffer), so its per-op charges stay
+                # in the fused region opened above — one simulator event
+                # for the row's waits + pipeline + output pack.
                 yield from ctx.add_tiles(CB_IN0, CB_IN1, 0, 0, dst0)
                 yield from ctx.cb_reserve_back(CB_INTERMED, 1)
                 yield from ctx.pack_tile(dst0, CB_INTERMED)
@@ -243,8 +257,12 @@ def _compute_kernel(ctx):
                 yield from ctx.mul_tiles(CB_SCALAR, CB_INTERMED, 0, 0, dst0)
                 yield from ctx.cb_pop_front(CB_INTERMED, 1)
 
+                # OUT0 reserve + pack only mutate state the writer never
+                # reads (the page commits at push), so they fuse too; the
+                # push itself wakes the writer and must not.
                 yield from ctx.cb_reserve_back(CB_OUT0, 1)
                 yield from ctx.pack_tile(dst0, CB_OUT0)
+                yield from ctx.fused_end()
                 yield from ctx.cb_push_back(CB_OUT0, 1)
 
                 yield from ctx.cb_pop_front(CB_IN0, 1)

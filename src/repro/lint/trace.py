@@ -584,6 +584,12 @@ class _Extractor:
         # direct ctx API call: ``yield from ctx.cb_push_back(...)``
         if isinstance(func, ast.Attribute) \
                 and self._eval(func.value, frame) is CTX:
+            if func.attr == "cb_set_rd_ptrs":
+                # Batched pointer install: desugar to one cb_set_rd_ptr
+                # Call per (cb_id, addr) pair so the K1xx alias rules see
+                # exactly the unbatched protocol.
+                self._desugar_set_rd_ptrs(call, frame, nodes)
+                return
             nodes.append(self._api_call(func.attr, call, frame))
             return
         # helper generator: nested def or module-level function
@@ -592,6 +598,28 @@ class _Extractor:
         if not inlined:
             self._eval_call_operands(call, frame)
             nodes.append(Opaque(self._line(node, frame)))
+
+    def _desugar_set_rd_ptrs(self, call, frame, nodes) -> None:
+        self._tick()
+        lineno = self._line(call, frame)
+        for a in call.args:
+            if isinstance(a, ast.Starred):
+                self._eval(a.value, frame)
+                nodes.append(Call(name="cb_set_rd_ptr", args=[],
+                                  kwargs={}, lineno=lineno,
+                                  filename=frame.filename, star=True))
+            elif isinstance(a, ast.Tuple) and len(a.elts) == 2:
+                args = [self._eval(e, frame) for e in a.elts]
+                nodes.append(Call(name="cb_set_rd_ptr", args=args,
+                                  kwargs={}, lineno=lineno,
+                                  filename=frame.filename))
+            else:
+                self._eval(a, frame)
+                nodes.append(Call(name="cb_set_rd_ptr", args=[],
+                                  kwargs={}, lineno=lineno,
+                                  filename=frame.filename, star=True))
+        for kw in call.keywords:
+            self._eval(kw.value, frame)
 
     def _api_call(self, name, call, frame) -> Call:
         self._tick()

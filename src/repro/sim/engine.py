@@ -18,6 +18,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -45,6 +46,18 @@ class Interrupt(Exception):
 
 
 _PENDING = object()
+
+#: env toggle for the CPU fast path (``REPRO_ENGINE_FASTPATH=0`` disables).
+#: The fast path only elides host-side work (an inlined run loop, no
+#: per-event budget arithmetic); it never changes which events exist, their
+#: timestamps, or their firing order, so both settings produce bit-identical
+#: simulations — the determinism tests assert exactly that.
+_FASTPATH_OFF = ("0", "false", "off", "no")
+
+
+def _fastpath_default() -> bool:
+    return os.environ.get("REPRO_ENGINE_FASTPATH", "1").lower() \
+        not in _FASTPATH_OFF
 
 
 def _check_delay(delay: float) -> float:
@@ -110,9 +123,13 @@ class Event:
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully, scheduling callbacks ``delay`` from now."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"event {self!r} already triggered")
-        delay = _check_delay(delay)
+        if delay != 0.0:
+            # The comparison is the fast path for the overwhelmingly common
+            # immediate trigger; odd inputs (None, "x", negatives) compare
+            # unequal and still land in the full validator.
+            delay = _check_delay(delay)
         self._value = value
         self._ok = True
         self.sim._schedule(self, delay)
@@ -150,18 +167,30 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` seconds after creation."""
+    """An event that triggers ``delay`` seconds after creation.
+
+    Timeouts dominate event traffic (every kernel-API op charges one), so
+    the constructor assigns slots directly instead of chaining through
+    ``Event.__init__`` and builds its display name lazily — the f-string
+    showed up as a top-3 hot spot when profiling full-device runs.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
+        self.sim = sim
+        self.callbacks = []
         self._value = value
         self._ok = True
+        self._scheduled = False
+        self.delay = delay
         sim._schedule(self, delay)
+
+    @property
+    def name(self) -> str:  # lazy: only deadlock reports / repr need it
+        return f"timeout({self.delay:g})"
 
 
 class Process(Event):
@@ -171,7 +200,7 @@ class Process(Event):
     can be joined with ``result = yield some_process``.
     """
 
-    __slots__ = ("generator", "_waiting_on", "_wait_since")
+    __slots__ = ("generator", "_send", "_throw", "_waiting_on", "_wait_since")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -180,6 +209,10 @@ class Process(Event):
                 " (did you forget to call the kernel function?)")
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
+        # Bound-method caches: ``_resume`` runs once per yield of every
+        # kernel, so the attribute lookups are worth hoisting.
+        self._send = generator.send
+        self._throw = generator.throw
         self._waiting_on: Optional[Event] = None
         self._wait_since: float = sim.now
         sim._register_process(self)
@@ -206,14 +239,14 @@ class Process(Event):
 
     # -- stepping ---------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return  # e.g. interrupted after normal completion raced
         self._waiting_on = None
         try:
             if trigger._ok:
-                target = self.generator.send(trigger._value)
+                target = self._send(trigger._value)
             else:
-                target = self.generator.throw(trigger._value)
+                target = self._throw(trigger._value)
         except StopIteration as stop:
             self._value = stop.value
             self._ok = True
@@ -300,13 +333,19 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop: a priority queue of ``(time, seq, event)``."""
 
-    def __init__(self):
+    def __init__(self, fastpath: Optional[bool] = None):
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._crashed: list[tuple[Process, BaseException]] = []
         self._processes: list[Process] = []
         self.events_processed = 0
+        #: CPU fast path (inlined run loop).  Resolved per instance from
+        #: ``REPRO_ENGINE_FASTPATH`` unless overridden, so tests can compare
+        #: both modes side by side.  Either setting yields bit-identical
+        #: timestamps, event counts and results.
+        self.fastpath: bool = _fastpath_default() if fastpath is None \
+            else bool(fastpath)
 
     # -- process registry -------------------------------------------------
     def _register_process(self, proc: "Process") -> None:
@@ -350,6 +389,28 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """A timeout firing at *absolute* simulated time ``when``.
+
+        Unlike ``timeout(when - now)`` this schedules the heap entry at
+        exactly ``when`` with no float round trip, so batched charges can
+        land on the same bit-exact timestamp a sequence of relative
+        timeouts would have produced.
+        """
+        if when < self.now:
+            raise ValueError(
+                f"timeout_at({when!r}) is in the past (now={self.now!r})")
+        tmo = Timeout.__new__(Timeout)
+        tmo.sim = self
+        tmo.callbacks = []
+        tmo._value = value
+        tmo._ok = True
+        tmo._scheduled = True
+        tmo.delay = when - self.now
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, tmo))
+        return tmo
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -395,23 +456,27 @@ class Simulator:
         elif until is not None:
             deadline = float(until)
 
-        budget = max_events if max_events is not None else float("inf")
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                break
-            when = self._queue[0][0]
-            if deadline is not None and when > deadline:
-                self.now = deadline
-                break
-            if budget <= 0:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self.now:g}s")
-            budget -= 1
-            self._step()
-            if self._crashed:
-                proc, exc = self._crashed[0]
-                raise SimulationError(
-                    f"process {proc.name!r} crashed at t={self.now:g}s") from exc
+        if max_events is None and self.fastpath:
+            self._run_loop_fast(stop_event, deadline)
+        else:
+            budget = max_events if max_events is not None else float("inf")
+            while self._queue:
+                if stop_event is not None and stop_event.processed:
+                    break
+                when = self._queue[0][0]
+                if deadline is not None and when > deadline:
+                    self.now = deadline
+                    break
+                if budget <= 0:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self.now:g}s")
+                budget -= 1
+                self._step()
+                if self._crashed:
+                    proc, exc = self._crashed[0]
+                    raise SimulationError(
+                        f"process {proc.name!r} crashed at t={self.now:g}s"
+                    ) from exc
 
         if stop_event is not None:
             if not stop_event.triggered:
@@ -422,6 +487,45 @@ class Simulator:
         if deadline is not None and not self._queue:
             self.now = max(self.now, deadline)
         return None
+
+    def _run_loop_fast(self, stop_event: Optional[Event],
+                       deadline: Optional[float]) -> None:
+        """The default run loop with ``_step`` inlined.
+
+        Semantically identical to the reference loop in :meth:`run` (same
+        pop order, same ``events_processed`` accounting, same crash and
+        deadline handling) minus the per-event budget arithmetic, method
+        dispatch and attribute traffic.  Kept textually close to
+        ``_step``/``run`` on purpose — any behavioural edit must land in
+        both loops.
+        """
+        queue = self._queue
+        crashed = self._crashed
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                when = queue[0][0]
+                if deadline is not None and when > deadline:
+                    self.now = deadline
+                    break
+                when, _seq, event = pop(queue)
+                if when < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = when
+                callbacks, event.callbacks = event.callbacks, None
+                processed += 1
+                for cb in callbacks:
+                    cb(event)
+                if crashed:
+                    proc, exc = crashed[0]
+                    raise SimulationError(
+                        f"process {proc.name!r} crashed at t={self.now:g}s"
+                    ) from exc
+        finally:
+            self.events_processed += processed
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the queue is empty."""

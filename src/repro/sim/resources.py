@@ -45,6 +45,28 @@ class Semaphore:
         self._acquirers: Deque[tuple[int, Event]] = deque()
         self._watchers: list[tuple[int, Event]] = []
 
+    def try_acquire(self, n: int = 1) -> bool:
+        """Consume ``n`` immediately if possible; never blocks.
+
+        FIFO discipline is preserved: with acquirers queued, even a
+        satisfiable request must line up behind them, so this returns
+        ``False`` and the caller falls back to :meth:`acquire`.
+        """
+        if n <= 0:
+            raise ValueError("acquire count must be positive")
+        if self._acquirers or self.value < n:
+            return False
+        self.value -= n
+        return True
+
+    def try_wait_at_least(self, v: int) -> bool:
+        """Non-consuming threshold test; ``True`` iff a wait would not block.
+
+        Watchers are broadcast (no queue-order concerns), so a satisfied
+        threshold can always be answered synchronously.
+        """
+        return self.value >= v
+
     def acquire(self, n: int = 1) -> Event:
         if n <= 0:
             raise ValueError("acquire count must be positive")
@@ -236,6 +258,7 @@ class FifoServer:
         self.busy_time = 0.0
         self.bytes_served = 0
         self.jobs = 0
+        self._done_name = f"fifo.done({name})"
 
     def service_time(self, nbytes: float, jobs: int = 1) -> float:
         return jobs * self.overhead + nbytes / self.rate
@@ -256,7 +279,7 @@ class FifoServer:
         self.busy_time += duration
         self.bytes_served += int(nbytes)
         self.jobs += jobs
-        ev = self.sim.event(name=f"fifo.done({self.name})")
+        ev = Event(self.sim, self._done_name)
         ev.succeed(value=self.busy_until, delay=self.busy_until - self.sim.now)
         return ev
 

@@ -102,6 +102,10 @@ class _KernelSpec:
     core: TensixCore
     slot: str
     args: Dict
+    #: memoised launch state ``(device, merged_args, process_name)`` —
+    #: re-enqueueing the same program skips the runtime-arg merge and the
+    #: process-name formatting (see :func:`_prepare_launch`).
+    launch_cache: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
@@ -294,9 +298,25 @@ def EnqueueReadBuffer(device: GrayskullDevice, buf: Buffer,
         _pcie_backoff(device, attempt)
 
 
+def _prepare_launch(spec: _KernelSpec, device: GrayskullDevice) -> tuple:
+    """Memoised per-kernel launch setup: merged runtime args + process name.
+
+    The merged dict is safe to share across launches because every kernel
+    context copies it on construction; the cache is keyed on the device so
+    a spec enqueued on a different device is re-prepared.
+    """
+    cache = spec.launch_cache
+    if cache is None or cache[0] is not device:
+        args = dict(spec.args)
+        args.setdefault("_device", device)
+        name = (f"{getattr(spec.fn, '__name__', 'kernel')}@"
+                f"{spec.core.coord}/{spec.slot}")
+        cache = spec.launch_cache = (device, args, name)
+    return cache
+
+
 def _make_ctx(spec: _KernelSpec, device: GrayskullDevice):
-    args = dict(spec.args)
-    args.setdefault("_device", device)
+    _device, args, _name = _prepare_launch(spec, device)
     if spec.slot == COMPUTE:
         return ComputeCtx(spec.core, args)
     return DataMoverCtx(spec.core, spec.slot, args)
@@ -347,11 +367,12 @@ def EnqueueProgram(device: GrayskullDevice, program: Program,
     _maybe_lint(program, lint)
     procs: List[Process] = []
     for spec in program.kernels:
-        ctx = _make_ctx(spec, device)
-        gen = spec.fn(ctx)
-        name = (f"{getattr(spec.fn, '__name__', 'kernel')}@"
-                f"{spec.core.coord}/{spec.slot}")
-        procs.append(device.sim.process(gen, name=name))
+        _device, args, name = _prepare_launch(spec, device)
+        if spec.slot == COMPUTE:
+            ctx = ComputeCtx(spec.core, args)
+        else:
+            ctx = DataMoverCtx(spec.core, spec.slot, args)
+        procs.append(device.sim.process(spec.fn(ctx), name=name))
     device.energy.set_active_cores(len(program.cores))
     handle = ProgramHandle(program=program, processes=procs,
                            t_start=device.sim.now,

@@ -1,0 +1,92 @@
+"""Golden-artifact tests for the observability layer.
+
+A tiny fixed program (single-core optimised Jacobi, 32x16, 2
+iterations) must keep producing *exactly* the same normalised Perfetto
+trace and profile table.  The simulator's timestamps are deterministic
+down to the last float bit, so these goldens pin the whole stack —
+engine scheduling, cost charging, fused-region accounting, tracer and
+profiler rendering.  An engine refactor that shifts any interval or
+reorders any row fails here even if the solver output is untouched.
+
+Regenerate (after an *intentional* change) with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/experiments/test_golden_artifacts.py
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.profile import profile_device
+from repro.analysis.tracing import Tracer
+from repro.arch.device import GrayskullDevice
+from repro.core.grid import LaplaceProblem
+from repro.core.jacobi_optimized import OptimizedJacobiRunner
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+TRACE_GOLDEN = GOLDEN_DIR / "jacobi_32x16_trace.json"
+PROFILE_GOLDEN = GOLDEN_DIR / "jacobi_32x16_profile.txt"
+
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN", "") not in ("", "0")
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    dev = GrayskullDevice(dram_bank_capacity=1 << 20)
+    dev.tracer = Tracer()
+    OptimizedJacobiRunner(dev, LaplaceProblem(nx=32, ny=16)).run(
+        2, read_back=False)
+    return dev
+
+
+def normalised_trace(tracer: Tracer) -> str:
+    """Canonical JSON for the Chrome trace: events sorted, keys sorted.
+
+    Sorting makes the golden robust to benign insertion-order changes
+    (e.g. a future tracer that buffers per-core) while still pinning
+    every interval's exact start, duration, slot and kind.
+    """
+    doc = tracer.to_chrome_trace()
+    doc["traceEvents"] = sorted(
+        doc["traceEvents"],
+        key=lambda e: (e["pid"], e["tid"], e["ts"], e["dur"], e["name"]))
+    return json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+
+def _check_or_regen(path: pathlib.Path, text: str) -> None:
+    if REGEN:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"golden {path} missing — run with REPRO_REGEN_GOLDEN=1 to create")
+    golden = path.read_text()
+    assert text == golden, (
+        f"{path.name} drifted from the checked-in golden; if the change "
+        "is intentional, regenerate with REPRO_REGEN_GOLDEN=1")
+
+
+def test_perfetto_trace_matches_golden(tiny_run):
+    _check_or_regen(TRACE_GOLDEN, normalised_trace(tiny_run.tracer))
+
+
+def test_profile_table_matches_golden(tiny_run):
+    _check_or_regen(PROFILE_GOLDEN,
+                    profile_device(tiny_run).render() + "\n")
+
+
+def test_trace_golden_is_wellformed():
+    """The checked-in artifact itself parses and has the expected shape
+    (guards against a bad regeneration being committed)."""
+    if not TRACE_GOLDEN.exists():
+        pytest.skip("golden not generated yet")
+    doc = json.loads(TRACE_GOLDEN.read_text())
+    events = doc["traceEvents"]
+    assert events, "golden trace has no events"
+    assert {e["ph"] for e in events} == {"X"}
+    assert {e["name"] for e in events} <= {"busy", "stall"}
+    slots = {e["tid"] for e in events}
+    assert slots == {"dm0", "compute", "dm1"}
+    assert all(e["dur"] > 0 for e in events)

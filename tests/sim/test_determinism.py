@@ -1,0 +1,97 @@
+"""Determinism regression tests for the engine fast paths.
+
+Every optimisation in the simulator (run-loop inlining, synchronous CB
+try-paths, fused charge regions, burst coalescing) is required to leave
+the *simulation* bit-identical: same final simulated time, same number
+of processed events, same solver output bits.  These tests pin that
+contract by running the Table I single-core Jacobi and a 4-core
+multicore Jacobi twice in-process and across the
+``REPRO_ENGINE_FASTPATH`` toggle.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.arch.device import GrayskullDevice
+from repro.core.grid import LaplaceProblem
+from repro.core.jacobi_initial import InitialConfig, InitialJacobiRunner
+from repro.core.jacobi_optimized import OptimizedJacobiRunner
+
+
+def _grid_sha(grid_bits) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(grid_bits).tobytes()).hexdigest()
+
+
+def _run_single_core():
+    """The Table I workload shape: initial single-core Jacobi."""
+    dev = GrayskullDevice(dram_bank_capacity=16 << 20)
+    res = InitialJacobiRunner(dev, LaplaceProblem(nx=64, ny=64),
+                              InitialConfig.initial()).run(2)
+    return {
+        "sim_now": dev.sim.now,
+        "events": dev.sim.events_processed,
+        "kernel_time_s": res.kernel_time_s,
+        "grid_sha": _grid_sha(res.grid_bits),
+    }
+
+
+def _run_multicore():
+    """A 4-core (2x2) optimised multicore Jacobi."""
+    dev = GrayskullDevice(dram_bank_capacity=16 << 20)
+    res = OptimizedJacobiRunner(dev, LaplaceProblem(nx=64, ny=64),
+                                cores_y=2, cores_x=2).run(2)
+    return {
+        "sim_now": dev.sim.now,
+        "events": dev.sim.events_processed,
+        "kernel_time_s": res.kernel_time_s,
+        "grid_sha": _grid_sha(res.grid_bits),
+    }
+
+
+WORKLOADS = [("single_core", _run_single_core),
+             ("multicore_2x2", _run_multicore)]
+
+
+@pytest.mark.parametrize("name,run", WORKLOADS,
+                         ids=[w[0] for w in WORKLOADS])
+def test_repeat_runs_bit_identical(name, run):
+    """Two identical runs in one process agree on every invariant."""
+    a, b = run(), run()
+    assert a == b
+
+
+@pytest.mark.parametrize("name,run", WORKLOADS,
+                         ids=[w[0] for w in WORKLOADS])
+def test_fastpath_toggle_bit_identical(name, run, monkeypatch):
+    """``REPRO_ENGINE_FASTPATH=0`` and ``=1`` are indistinguishable.
+
+    The toggle gates only the inlined run loop — a CPU micro-
+    optimisation that must not change which events exist, when they
+    fire, or what the solver computes.  Exact equality on floats is
+    deliberate: "close" would hide a resequencing bug.
+    """
+    monkeypatch.setenv("REPRO_ENGINE_FASTPATH", "0")
+    slow = run()
+    monkeypatch.setenv("REPRO_ENGINE_FASTPATH", "1")
+    fast = run()
+    assert slow == fast
+
+
+def test_fastpath_constructor_override():
+    """``Simulator(fastpath=...)`` wins over the environment default."""
+    from repro.sim import Simulator
+    assert Simulator(fastpath=False).fastpath is False
+    assert Simulator(fastpath=True).fastpath is True
+
+
+@pytest.mark.parametrize("value,expected", [
+    ("0", False), ("false", False), ("off", False), ("no", False),
+    ("1", True), ("true", True), ("", True),
+])
+def test_fastpath_env_parsing(value, expected, monkeypatch):
+    from repro.sim import Simulator
+    monkeypatch.setenv("REPRO_ENGINE_FASTPATH", value)
+    assert Simulator().fastpath is expected

@@ -1,0 +1,119 @@
+"""Tier-1 tests for the ``repro bench`` harness plumbing.
+
+Fast by construction: they exercise the runner/schema with the
+cheapest micro benchmark only, and the baseline comparator with
+hand-built documents.  The full suite execution lives in
+``benchmarks/perf/`` (tier 2).
+"""
+
+import pytest
+
+from repro import bench
+
+
+def _doc(results, smoke=True):
+    return {"schema": bench.SCHEMA, "date": "2026-01-01", "smoke": smoke,
+            "reps": 1, "fastpath": True, "python": "3.x",
+            "results": results}
+
+
+def _res(name="engine_events", value=100.0, higher=True, inv=None,
+         metric="events_per_sec"):
+    return {"name": name, "kind": "micro", "metric": metric,
+            "value": value, "unit": "1/s", "higher_is_better": higher,
+            "invariants": inv if inv is not None else {"events": 42}}
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        doc = _doc([_res()])
+        assert bench.compare(doc, doc) == []
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        base = _doc([_res(value=100.0)])
+        cur = _doc([_res(value=85.0)])
+        assert bench.compare(cur, base, tolerance=0.20) == []
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        base = _doc([_res(value=100.0)])
+        cur = _doc([_res(value=75.0)])
+        failures = bench.compare(cur, base, tolerance=0.20)
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_throughput_gain_always_passes(self):
+        base = _doc([_res(value=100.0)])
+        cur = _doc([_res(value=500.0)])
+        assert bench.compare(cur, base) == []
+
+    def test_wall_time_direction_is_lower_better(self):
+        base = _doc([_res(name="jacobi_single", metric="wall_s",
+                          value=1.0, higher=False)])
+        ok = _doc([_res(name="jacobi_single", metric="wall_s",
+                        value=1.15, higher=False)])
+        bad = _doc([_res(name="jacobi_single", metric="wall_s",
+                         value=1.5, higher=False)])
+        assert bench.compare(ok, base, tolerance=0.20) == []
+        assert bench.compare(bad, base, tolerance=0.20)
+
+    def test_invariant_drift_fails_regardless_of_perf(self):
+        base = _doc([_res(inv={"events": 42, "sim_now": 1.0})])
+        cur = _doc([_res(value=1e9, inv={"events": 43, "sim_now": 1.0})])
+        failures = bench.compare(cur, base)
+        assert len(failures) == 1 and "invariants" in failures[0]
+
+    def test_missing_benchmark_fails(self):
+        base = _doc([_res(), _res(name="cb_roundtrip")])
+        cur = _doc([_res()])
+        failures = bench.compare(cur, base)
+        assert any("missing" in f for f in failures)
+
+    def test_extra_benchmark_in_current_is_fine(self):
+        base = _doc([_res()])
+        cur = _doc([_res(), _res(name="new_bench")])
+        assert bench.compare(cur, base) == []
+
+    def test_smoke_vs_full_mismatch_fails(self):
+        base = _doc([_res()], smoke=True)
+        cur = _doc([_res()], smoke=False)
+        assert bench.compare(cur, base)
+
+    def test_schema_mismatch_fails(self):
+        base = _doc([_res()])
+        cur = dict(_doc([_res()]), schema="something-else/9")
+        assert bench.compare(cur, base)
+
+
+class TestRunner:
+    def test_engine_micro_runs_and_is_deterministic(self):
+        doc = bench.run_benchmarks(smoke=True, reps=2,
+                                   only=["engine_events"])
+        assert doc["schema"] == bench.SCHEMA
+        (res,) = doc["results"]
+        assert res["value"] > 0
+        assert res["invariants"]["events"] == 20_002
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            bench.run_benchmarks(only=["nope"])
+
+    def test_inconsistent_invariants_raise(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(smoke):
+            calls["n"] += 1
+            return 0.01, 100.0, {"events": calls["n"]}
+
+        monkeypatch.setitem(bench.BENCHMARKS, "flaky",
+                            ("micro", "x_per_sec", "1/s", True, flaky))
+        with pytest.raises(bench.BenchError, match="invariants changed"):
+            bench.run_benchmarks(reps=2, only=["flaky"])
+
+    def test_render_mentions_every_benchmark(self):
+        doc = bench.run_benchmarks(smoke=True, reps=1,
+                                   only=["engine_events"])
+        text = bench.render(doc)
+        assert "engine_events" in text and "events_per_sec" in text
+
+    def test_default_report_path_is_datestamped(self):
+        assert bench.default_report_path("2026-08-06") == \
+            "BENCH_2026-08-06.json"
