@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
@@ -55,6 +56,9 @@ class BenchResult:
     unit: str
     higher_is_better: bool
     invariants: Dict[str, object] = field(default_factory=dict)
+    #: wall seconds of every repetition, in run order — not just the
+    #: best-of value, so parallel-host results stay interpretable.
+    rep_walls: List[float] = field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -65,7 +69,16 @@ class BenchResult:
             "unit": self.unit,
             "higher_is_better": self.higher_is_better,
             "invariants": self.invariants,
+            "rep_walls": self.rep_walls,
         }
+
+
+@dataclass(frozen=True)
+class BenchJob:
+    """Config of the ``bench_invariants`` parallel job kind."""
+
+    name: str
+    smoke: bool
 
 
 class BenchError(RuntimeError):
@@ -251,17 +264,51 @@ BENCHMARKS: Dict[str, Tuple[str, str, str, bool, Callable]] = {
 }
 
 
+def _parallel_invariant_prepass(names: List[str], smoke: bool, jobs: int,
+                                cache,
+                                log: Optional[Callable[[str], None]]
+                                ) -> Dict[str, Dict[str, object]]:
+    """Collect the *macro* benchmarks' invariants via the sweep engine.
+
+    Invariant collection is pure simulation — machine-independent by
+    contract — so it parallelises (and caches) safely.  Perf timings
+    never run here: they must stay sequential so the wall-clock numbers
+    are not polluted by sibling workers, and the report says so.
+    """
+    from repro.parallel import JobSpec, sweep_results
+
+    macro = [n for n in names if BENCHMARKS[n][0] == "macro"]
+    if not macro:
+        return {}
+    if log is not None:
+        log(f"  invariant prepass: {len(macro)} macro benchmark(s) "
+            f"across {jobs} worker(s) (perf timings stay sequential)")
+    specs = [JobSpec("bench_invariants", BenchJob(name=n, smoke=smoke))
+             for n in macro]
+    collected = sweep_results(specs, jobs=jobs, cache=cache)
+    return dict(zip(macro, collected))
+
+
 def run_benchmarks(smoke: bool = False, reps: int = 3,
                    only: Optional[List[str]] = None,
-                   log: Optional[Callable[[str], None]] = None) -> dict:
+                   log: Optional[Callable[[str], None]] = None,
+                   jobs: Optional[int] = None, cache=None) -> dict:
     """Run the suite and return the ``repro-bench/1`` document.
 
     Each benchmark runs ``reps`` times; the best perf value is kept
     (min wall / max throughput) while the invariants must be identical
     across repetitions — a mismatch raises :class:`BenchError`, because
     a nondeterministic simulator invalidates every other number in the
-    file.
+    file.  Every repetition's wall time is recorded (``rep_walls``), not
+    just the best-of value.
+
+    ``jobs > 1`` additionally collects the macro benchmarks' invariants
+    through the parallel sweep engine *before* the timed loop and
+    cross-checks them against the sequential repetitions — a
+    cross-process determinism gate.  Timings themselves always run
+    sequentially.
     """
+    from repro.parallel import resolve_jobs
     from repro.sim.engine import _fastpath_default
 
     names = list(BENCHMARKS) if not only else list(only)
@@ -269,13 +316,20 @@ def run_benchmarks(smoke: bool = False, reps: int = 3,
     if unknown:
         raise ValueError(f"unknown benchmark(s): {', '.join(unknown)} "
                          f"(available: {', '.join(BENCHMARKS)})")
+    n_jobs = resolve_jobs(jobs)
+    prepass: Dict[str, Dict[str, object]] = {}
+    if n_jobs > 1:
+        prepass = _parallel_invariant_prepass(names, smoke, n_jobs, cache,
+                                              log)
     results: List[BenchResult] = []
     for name in names:
         kind, metric, unit, higher, fn = BENCHMARKS[name]
         best: Optional[float] = None
         inv0: Optional[Dict[str, object]] = None
+        rep_walls: List[float] = []
         for rep in range(max(1, reps)):
-            _wall, value, inv = fn(smoke)
+            wall, value, inv = fn(smoke)
+            rep_walls.append(wall)
             if inv0 is None:
                 inv0 = inv
             elif inv != inv0:
@@ -285,10 +339,15 @@ def run_benchmarks(smoke: bool = False, reps: int = 3,
             if best is None or (value > best if higher else value < best):
                 best = value
         assert best is not None and inv0 is not None
+        if name in prepass and prepass[name] != inv0:
+            raise BenchError(
+                f"benchmark {name!r} invariants differ between the "
+                f"parallel prepass and the sequential run: "
+                f"{prepass[name]!r} != {inv0!r}")
         results.append(BenchResult(name=name, kind=kind, metric=metric,
                                    value=best, unit=unit,
                                    higher_is_better=higher,
-                                   invariants=inv0))
+                                   invariants=inv0, rep_walls=rep_walls))
         if log is not None:
             log(f"  {name:<18} {metric} = {best:,.6g} {unit}")
     return {
@@ -298,6 +357,13 @@ def run_benchmarks(smoke: bool = False, reps: int = 3,
         "reps": int(reps),
         "fastpath": _fastpath_default(),
         "python": platform.python_version(),
+        # host context so parallel-era results stay interpretable; the
+        # comparator ignores these (additive, schema-compatible keys).
+        "cpu_count": os.cpu_count(),
+        "timings": "sequential",
+        "invariant_prepass": ({"jobs": n_jobs,
+                               "benchmarks": sorted(prepass)}
+                              if prepass else None),
         "results": [r.to_json() for r in results],
     }
 
@@ -368,7 +434,9 @@ def compare(current: dict, baseline: dict,
 def render(doc: dict) -> str:
     """A small fixed-width table of the document's results."""
     lines = [f"repro bench  schema={doc['schema']}  date={doc['date']}  "
-             f"smoke={doc['smoke']}  fastpath={doc['fastpath']}",
+             f"smoke={doc['smoke']}  fastpath={doc['fastpath']}  "
+             f"cpus={doc.get('cpu_count', '?')}  "
+             f"timings={doc.get('timings', 'sequential')}",
              f"{'benchmark':<18} {'kind':<6} {'metric':<18} "
              f"{'value':>14}  invariants"]
     for r in doc["results"]:

@@ -10,15 +10,28 @@ Commands
 ``faults``   run a seeded fault-injection campaign (or the watchdog demo)
 ``lint``     statically verify every shipped kernel and program
 ``bench``    run the perf benchmark suite, emit BENCH_<date>.json
+``sweep``    run a streaming sweep through the parallel engine
+
+Sweep-producing commands (``table``, ``sweep``, ``faults``, ``bench``)
+accept a global ``-j/--jobs N`` flag that fans their independent,
+deterministic sweep points out across N worker processes — output is
+byte-identical to ``-j 1`` (``-j 0`` = all cores) — and cache results
+content-addressed on (repro version, config, seed), so re-running an
+unchanged sweep is near-free.  ``--no-cache`` (or the environment
+variable ``REPRO_SWEEP_CACHE=0``) disables the cache.  See
+``docs/parallel_sweeps.md``.
 
 Examples::
 
     python -m repro solve --nx 64 --ny 64 --iterations 200 --backend e150
     python -m repro table 8
+    python -m repro -j 4 table 7
     python -m repro table 3 --quick
+    python -m repro sweep multicore -j 4 --report
     python -m repro stream --read-batch 64 --sync-read
     python -m repro profile --variant initial
     python -m repro faults --seed 7 --dram-flips 3 --core-failures 1
+    python -m repro faults --seeds 0,1,2,3 -j 4
     python -m repro faults --replay-check
     python -m repro faults --hang-demo
     python -m repro lint
@@ -40,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Accelerating stencils on the "
                     "Tenstorrent Grayskull RISC-V accelerator'")
+    # Global sweep-engine flags.  They are accepted both before the
+    # subcommand (`repro -j4 table 7`) and after it (`repro table 7 -j4`);
+    # the subcommand copies use SUPPRESS so an absent flag never clobbers
+    # a value given at the top level.
+    _add_parallel_args(p, top_level=True)
+    par = argparse.ArgumentParser(add_help=False)
+    _add_parallel_args(par, top_level=False)
     sub = p.add_subparsers(dest="command", required=True)
 
     s = sub.add_parser("solve", help="run the Jacobi solver")
@@ -60,11 +80,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulate only this many iterations and "
                         "extrapolate")
 
-    t = sub.add_parser("table", help="regenerate a paper table")
+    t = sub.add_parser("table", parents=[par],
+                       help="regenerate a paper table")
     t.add_argument("number", type=int, choices=range(1, 9),
                    help="table number (1-8)")
     t.add_argument("--quick", action="store_true",
                    help="reduced problem size (no paper comparison)")
+
+    sw = sub.add_parser(
+        "sweep", parents=[par],
+        help="run a streaming sweep through the parallel engine",
+        description="Run one of the paper's streaming sweep plans "
+                    "(Tables III-VII shapes) through repro.parallel: "
+                    "points fan out across -j worker processes with "
+                    "byte-identical output, results are cached "
+                    "content-addressed.")
+    sw.add_argument("kind",
+                    choices=["batch", "replication", "pages", "multicore"],
+                    help="which sweep plan to run")
+    sw.add_argument("--rows", type=int, default=1024)
+    sw.add_argument("--row-elems", type=int, default=1024)
+    sw.add_argument("--noncontiguous", action="store_true",
+                    help="batch sweep only: Table IV access order")
+    sw.add_argument("--report", action="store_true",
+                    help="also print the per-job observability table "
+                         "(worker ids, queue waits, wall times; host-"
+                         "dependent, NOT byte-stable across runs)")
 
     sub.add_parser("figures", help="regenerate the paper's figures")
 
@@ -89,9 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["initial", "write_opt", "double_buffered",
                              "optimized"])
 
-    f = sub.add_parser("faults",
+    f = sub.add_parser("faults", parents=[par],
                        help="run a seeded fault-injection campaign")
     f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--seeds", default=None,
+                   help="comma-separated seed list (e.g. 0,1,2,3): run one "
+                        "campaign per seed through the parallel sweep "
+                        "engine and print the combined summary")
+    f.add_argument("--report", action="store_true",
+                   help="with --seeds: also print the per-job "
+                        "observability table (not byte-stable)")
     f.add_argument("--nx", type=int, default=64)
     f.add_argument("--ny", type=int, default=64)
     f.add_argument("--iterations", type=int, default=64)
@@ -121,7 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="do not lint the examples/ scripts")
 
     be = sub.add_parser(
-        "bench", help="run the micro/macro performance benchmark suite")
+        "bench", parents=[par],
+        help="run the micro/macro performance benchmark suite")
     be.add_argument("--smoke", action="store_true",
                     help="reduced problem sizes (the CI configuration)")
     be.add_argument("--out", default=None,
@@ -140,6 +189,26 @@ def build_parser() -> argparse.ArgumentParser:
                     help="relative perf-regression tolerance for --check "
                          "(default 0.20; invariants always compare exact)")
     return p
+
+
+def _add_parallel_args(p: argparse.ArgumentParser, top_level: bool) -> None:
+    """The global sweep-engine flags (see docs/parallel_sweeps.md)."""
+    d = None if top_level else argparse.SUPPRESS
+    p.add_argument("-j", "--jobs", type=int, default=d, metavar="N",
+                   help="worker processes for sweep points (default 1 = "
+                        "sequential; 0 = all cores; output is byte-"
+                        "identical at any -j)")
+    p.add_argument("--no-cache", action="store_true",
+                   default=False if top_level else argparse.SUPPRESS,
+                   help="disable the content-addressed sweep result "
+                        "cache (REPRO_SWEEP_CACHE=0 does the same)")
+
+
+def _parallel_opts(args) -> tuple:
+    """(jobs, cache) for sweep-producing handlers."""
+    jobs = getattr(args, "jobs", None)
+    cache = False if getattr(args, "no_cache", False) else True
+    return jobs, cache
 
 
 def _cmd_solve(args) -> int:
@@ -168,6 +237,8 @@ def _cmd_table(args) -> int:
     from repro.experiments import table1, table2, table34, table567, table8
     quick = args.quick
     n = args.number
+    jobs, cache = _parallel_opts(args)
+    pk = dict(jobs=jobs, cache=cache)
     if n == 1:
         res = table1.run(nx=64, ny=64, iterations=200, sim_iterations=2) \
             if quick else table1.run()
@@ -175,31 +246,93 @@ def _cmd_table(args) -> int:
         res = table2.run(nx=64, ny=64, iterations=200, sim_iterations=2) \
             if quick else table2.run()
     elif n == 3:
-        res = table34.run_table3(rows=64, row_elems=1024) if quick \
-            else table34.run_table3()
+        res = table34.run_table3(rows=64, row_elems=1024, **pk) if quick \
+            else table34.run_table3(**pk)
     elif n == 4:
-        res = table34.run_table4(rows=64, row_elems=1024) if quick \
-            else table34.run_table4()
+        res = table34.run_table4(rows=64, row_elems=1024, **pk) if quick \
+            else table34.run_table4(**pk)
     elif n == 5:
-        res = table567.run_table5(rows=64, row_elems=1024) if quick \
-            else table567.run_table5()
+        res = table567.run_table5(rows=64, row_elems=1024, **pk) if quick \
+            else table567.run_table5(**pk)
     elif n == 6:
         res = table567.run_table6(rows=64, row_elems=1024,
-                                  replications=(0, 8)) if quick \
-            else table567.run_table6()
+                                  replications=(0, 8), **pk) if quick \
+            else table567.run_table6(**pk)
     elif n == 7:
         res = table567.run_table7(rows=64, row_elems=1024,
-                                  core_counts=(1, 2, 4)) if quick \
-            else table567.run_table7()
+                                  core_counts=(1, 2, 4), **pk) if quick \
+            else table567.run_table7(**pk)
     else:
         res = table8.run(nx=1024, ny=128, iterations=20, rows=[
             ("cpu", 1, None, None, 0, None, None),
             ("cpu", 24, None, None, 0, None, None),
             ("e150", 4, 2, 2, 1, None, None),
             ("e150", 108, 12, 9, 1, None, None),
-        ]) if quick else table8.run()
+        ], **pk) if quick else table8.run(**pk)
     print(res.render())
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Run one streaming sweep plan through the parallel engine.
+
+    stdout carries only deterministic content (configuration labels,
+    simulated runtimes, event counts, sim_now) so `-j N` output diffs
+    clean against `-j 1`; cache/worker/wall statistics go to stderr, and
+    ``--report`` opts into the per-job observability table.
+    """
+    import time
+
+    from repro.analysis.report import Table
+    from repro.parallel import (JobSpec, render_job_report, run_jobs,
+                                summary_line)
+    from repro.streaming import StreamConfig
+    from repro.streaming.sweep import (PAPER_BATCH_SIZES,
+                                       batch_sweep_configs,
+                                       multicore_sweep_configs,
+                                       page_sweep_configs,
+                                       replication_sweep_configs)
+
+    jobs, cache = _parallel_opts(args)
+    base = StreamConfig(rows=args.rows, row_elems=args.row_elems)
+    if args.kind == "batch":
+        sizes = [b for b in PAPER_BATCH_SIZES
+                 if base.row_bytes % b == 0 and b <= base.row_bytes]
+        plan = batch_sweep_configs(base, sizes,
+                                   contiguous=not args.noncontiguous)
+    elif args.kind == "replication":
+        plan = replication_sweep_configs(base, (1, 2, 4, 8, 16, 32))
+    elif args.kind == "pages":
+        plan = page_sweep_configs(base, None, (0, 8, 16, 32))
+    else:
+        plan = multicore_sweep_configs(base, None, (1, 2, 4, 8))
+
+    specs = [JobSpec("stream", cfg) for _, cfg in plan]
+    t0 = time.perf_counter()
+    outcomes = run_jobs(specs, jobs=jobs, cache=cache,
+                        progress=lambda m: print(m, file=sys.stderr))
+    wall = time.perf_counter() - t0
+
+    table = Table(
+        f"sweep {args.kind}: {args.rows}x{args.row_elems} int32, "
+        f"{len(plan)} points",
+        ["configuration", "runtime s", "events", "sim_now"])
+    failed = 0
+    for (label, _cfg), out in zip(plan, outcomes):
+        r = out.record
+        if r.ok:
+            table.add_row(label, f"{out.result.runtime_s:.9g}",
+                          r.obs.get("events", "-"),
+                          f"{r.obs.get('sim_now', 0.0):.9g}")
+        else:
+            failed += 1
+            table.add_row(label, "FAILED", "-", "-")
+    print(table.render())
+    print(summary_line(outcomes, wall, jobs), file=sys.stderr)
+    if args.report:
+        print()
+        print(render_job_report(outcomes))
+    return 1 if failed else 0
 
 
 def _cmd_figures(_args) -> int:
@@ -252,7 +385,10 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_faults(args) -> int:
-    from repro.faults import CampaignConfig, run_campaign, run_hang_demo
+    from dataclasses import replace
+
+    from repro.faults import (CampaignConfig, render_campaign_sweep,
+                              run_campaign, run_campaign_sweep, run_hang_demo)
     if args.hang_demo:
         err = run_hang_demo(seed=args.seed)
         print("watchdog fired:")
@@ -266,6 +402,26 @@ def _cmd_faults(args) -> int:
         pcie_corruptions=args.pcie_corruptions,
         solver_flips=args.solver_flips, core_failures=args.core_failures,
         checkpoint_every=args.checkpoint_every, ecc=not args.no_ecc)
+
+    if args.seeds is not None:
+        from repro.parallel import render_job_report, summary_line
+        import time
+
+        jobs, cache = _parallel_opts(args)
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        configs = [replace(cfg, seed=s) for s in seeds]
+        t0 = time.perf_counter()
+        outcomes = run_campaign_sweep(
+            configs, jobs=jobs, cache=cache,
+            progress=lambda m: print(m, file=sys.stderr))
+        wall = time.perf_counter() - t0
+        print(render_campaign_sweep(outcomes))
+        print(summary_line(outcomes, wall, jobs), file=sys.stderr)
+        if args.report:
+            print()
+            print(render_job_report(outcomes))
+        return 1 if any(not o.record.ok for o in outcomes) else 0
+
     report = run_campaign(cfg)
     if args.replay_check:
         replay = run_campaign(cfg)
@@ -361,11 +517,12 @@ def _cmd_bench(args) -> int:
 
     from repro import bench
 
+    jobs, cache = _parallel_opts(args)
     only = [s.strip() for s in args.only.split(",")] if args.only else None
     print(f"running {'smoke' if args.smoke else 'full'} benchmark suite "
           f"({args.reps} rep(s) each)...")
     doc = bench.run_benchmarks(smoke=args.smoke, reps=args.reps,
-                               only=only, log=print)
+                               only=only, log=print, jobs=jobs, cache=cache)
     out = args.out or bench.default_report_path()
     bench.write_report(doc, out)
     print(bench.render(doc))
@@ -391,9 +548,16 @@ def _cmd_bench(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        # Session default so library code reached without an explicit
+        # jobs= argument (e.g. nested sweeps) resolves to the same -j.
+        from repro.parallel import set_default_jobs
+        set_default_jobs(jobs)
     handler = {
         "solve": _cmd_solve,
         "table": _cmd_table,
+        "sweep": _cmd_sweep,
         "figures": _cmd_figures,
         "stream": _cmd_stream,
         "profile": _cmd_profile,
@@ -401,7 +565,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "bench": _cmd_bench,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    finally:
+        if jobs is not None:
+            set_default_jobs(None)
 
 
 if __name__ == "__main__":  # pragma: no cover

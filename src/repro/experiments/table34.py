@@ -29,14 +29,16 @@ _COLS = ["Batch (bytes)", "req/row",
 
 def _run(table_id: str, contiguous: bool, reference,
          rows: int, row_elems: int,
-         batch_sizes: Optional[Sequence[int]]) -> ExperimentResult:
+         batch_sizes: Optional[Sequence[int]],
+         jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     base = StreamConfig(rows=rows, row_elems=row_elems)
     at_paper_size = (rows, row_elems) == (STREAM_PROBLEM["rows"],
                                           STREAM_PROBLEM["row_elems"])
     sizes = list(batch_sizes) if batch_sizes is not None else [
         b for b in PAPER_BATCH_SIZES if base.row_bytes % b == 0
         and b <= base.row_bytes]
-    swept = sweep_batch_sizes(base, sizes, contiguous=contiguous)
+    swept = sweep_batch_sizes(base, sizes, contiguous=contiguous,
+                              jobs=jobs, cache=cache)
 
     kind = "contiguous" if contiguous else "non-contiguous"
     table = Table(
@@ -62,15 +64,17 @@ def _run(table_id: str, contiguous: bool, reference,
 
 def run_table3(rows: int = STREAM_PROBLEM["rows"],
                row_elems: int = STREAM_PROBLEM["row_elems"],
-               batch_sizes: Optional[Sequence[int]] = None
-               ) -> ExperimentResult:
+               batch_sizes: Optional[Sequence[int]] = None, *,
+               jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     """Regenerate Table III (contiguous streaming)."""
-    return _run("table3", True, TABLE3_RUNTIME, rows, row_elems, batch_sizes)
+    return _run("table3", True, TABLE3_RUNTIME, rows, row_elems, batch_sizes,
+                jobs=jobs, cache=cache)
 
 
 def run_table4(rows: int = STREAM_PROBLEM["rows"],
                row_elems: int = STREAM_PROBLEM["row_elems"],
-               batch_sizes: Optional[Sequence[int]] = None
-               ) -> ExperimentResult:
+               batch_sizes: Optional[Sequence[int]] = None, *,
+               jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     """Regenerate Table IV (non-contiguous streaming)."""
-    return _run("table4", False, TABLE4_RUNTIME, rows, row_elems, batch_sizes)
+    return _run("table4", False, TABLE4_RUNTIME, rows, row_elems, batch_sizes,
+                jobs=jobs, cache=cache)

@@ -35,15 +35,16 @@ def _base(rows: int, row_elems: int) -> tuple[StreamConfig, bool]:
 
 def run_table5(rows: int = STREAM_PROBLEM["rows"],
                row_elems: int = STREAM_PROBLEM["row_elems"],
-               factors: Sequence[int] = (1, 2, 4, 8, 16, 32)
-               ) -> ExperimentResult:
+               factors: Sequence[int] = (1, 2, 4, 8, 16, 32), *,
+               jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     """Regenerate Table V: replicated row reads."""
     base, at_paper = _base(rows, row_elems)
     table = Table(
         f"Table V: replicated reads, {rows}x{row_elems} int32 (runtime s)",
         ["Replication factor", "measured", "paper", "ratio"])
     comparisons = []
-    for f, runtime in sweep_replication(base, factors):
+    for f, runtime in sweep_replication(base, factors, jobs=jobs,
+                                       cache=cache):
         paper = TABLE5_RUNTIME.get(f) if at_paper else None
         table.add_row(f, format_seconds(runtime),
                       format_seconds(paper) if paper else "-",
@@ -56,8 +57,8 @@ def run_table5(rows: int = STREAM_PROBLEM["rows"],
 def run_table6(rows: int = STREAM_PROBLEM["rows"],
                row_elems: int = STREAM_PROBLEM["row_elems"],
                page_sizes: Optional[Sequence[Optional[int]]] = None,
-               replications: Sequence[int] = (0, 8, 16, 32)
-               ) -> ExperimentResult:
+               replications: Sequence[int] = (0, 8, 16, 32), *,
+               jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     """Regenerate Table VI: interleaving page size × replication."""
     base, at_paper = _base(rows, row_elems)
     cols = ["Page size"] + [f"repl {r}" for r in replications] + \
@@ -66,7 +67,8 @@ def run_table6(rows: int = STREAM_PROBLEM["rows"],
         f"Table VI: page size vs replication, {rows}x{row_elems} int32 "
         "(runtime s)", cols)
     comparisons = []
-    for page, runtimes in sweep_page_sizes(base, page_sizes, replications):
+    for page, runtimes in sweep_page_sizes(base, page_sizes, replications,
+                                           jobs=jobs, cache=cache):
         paper = TABLE6_RUNTIME.get(page) if at_paper else None
         cells = [_page_label(page)]
         cells += [format_seconds(t) for t in runtimes]
@@ -88,8 +90,8 @@ def run_table6(rows: int = STREAM_PROBLEM["rows"],
 def run_table7(rows: int = STREAM_PROBLEM["rows"],
                row_elems: int = STREAM_PROBLEM["row_elems"],
                page_sizes: Optional[Sequence[Optional[int]]] = None,
-               core_counts: Sequence[int] = (1, 2, 4, 8)
-               ) -> ExperimentResult:
+               core_counts: Sequence[int] = (1, 2, 4, 8), *,
+               jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     """Regenerate Table VII: streaming scaled across Tensix cores."""
     base, at_paper = _base(rows, row_elems)
     cols = ["Page size"] + [f"{n} cores" for n in core_counts] + \
@@ -98,7 +100,8 @@ def run_table7(rows: int = STREAM_PROBLEM["rows"],
         f"Table VII: page size vs cores, {rows}x{row_elems} int32 "
         "(runtime s)", cols)
     comparisons = []
-    for page, runtimes in sweep_multicore(base, page_sizes, core_counts):
+    for page, runtimes in sweep_multicore(base, page_sizes, core_counts,
+                                          jobs=jobs, cache=cache):
         paper = TABLE7_RUNTIME.get(page) if at_paper else None
         cells = [_page_label(page)]
         cells += [format_seconds(t) for t in runtimes]

@@ -4,32 +4,52 @@
 calibrated Xeon model; e150 rows use the Tier-2 scaling model (identical
 cost constants to the DES — ``tests/perfmodel`` cross-validates the two
 on small configurations).
+
+Each row is an independent solver-model evaluation, so the driver fans
+the rows out through the :mod:`repro.parallel` engine (job kind
+``table8``): ``jobs=N`` parallelises them with byte-identical output,
+and the content-addressed cache makes repeated regenerations near-free.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.analysis.report import Table
-from repro.core.grid import LaplaceProblem
-from repro.core.solver import JacobiSolver
 from repro.experiments.common import ExperimentResult, RowComparison
 from repro.experiments.reference import TABLE8_PROBLEM, TABLE8_ROWS
+from repro.parallel import JobSpec, sweep_results
 
-__all__ = ["run"]
+__all__ = ["Table8Row", "run"]
+
+
+@dataclass(frozen=True)
+class Table8Row:
+    """One Table VIII configuration (the ``table8`` job kind's config)."""
+
+    typ: str                 #: "cpu" | "e150"
+    total: int               #: total cores (CPU threads / Tensix workers)
+    cy: Optional[int]
+    cx: Optional[int]
+    cards: int
+    nx: int
+    ny: int
+    iterations: int
+    compute_answers: bool = False
 
 
 def run(nx: int = TABLE8_PROBLEM["nx"], ny: int = TABLE8_PROBLEM["ny"],
         iterations: int = TABLE8_PROBLEM["iterations"],
         rows: Optional[Sequence[tuple]] = None,
-        compute_answers: bool = False) -> ExperimentResult:
+        compute_answers: bool = False, *,
+        jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     """Regenerate Table VIII.
 
     ``compute_answers=True`` additionally runs the functional BF16 sweeps
     for every configuration (minutes at paper scale; the validation tests
     do it at small scale instead).
     """
-    problem = LaplaceProblem(nx=nx, ny=ny)
     at_paper = (nx, ny, iterations) == tuple(TABLE8_PROBLEM.values())
     table = Table(
         f"Table VIII: performance & energy, {nx}x{ny} over {iterations} "
@@ -38,29 +58,29 @@ def run(nx: int = TABLE8_PROBLEM["nx"], ny: int = TABLE8_PROBLEM["ny"],
          "Energy J", "(paper)"])
     comparisons = []
 
-    for row in (rows or TABLE8_ROWS):
+    row_tuples = list(rows or TABLE8_ROWS)
+    specs = []
+    for row in row_tuples:
+        typ, total, cy, cx, cards, _paper_gpts, _paper_j = row
+        specs.append(JobSpec("table8", Table8Row(
+            typ=typ, total=total, cy=cy, cx=cx, cards=cards, nx=nx, ny=ny,
+            iterations=iterations, compute_answers=compute_answers)))
+    measured = sweep_results(specs, jobs=jobs, cache=cache)
+
+    for row, res in zip(row_tuples, measured):
         typ, total, cy, cx, cards, paper_gpts, paper_j = row
-        if typ == "cpu":
-            solver = JacobiSolver(backend="cpu", n_threads=total)
-            res = solver.solve(problem, iterations,
-                               compute_answer=compute_answers)
-        else:
-            solver = JacobiSolver(
-                backend="e150-model", cores=(cy, cx),
-                n_cards=max(cards, 1))
-            res = solver.solve(problem, iterations,
-                               compute_answer=compute_answers)
+        gpts, energy_j = res["gpts"], res["energy_j"]
         pg = paper_gpts if at_paper else None
         pj = paper_j if at_paper else None
         table.add_row(
             typ, total, cy if cy else "-", cx if cx else "-",
-            f"{res.gpts:.2f}", f"{pg:.2f}" if pg else "-",
-            f"{res.gpts / pg:.2f}" if pg else "-",
-            f"{res.energy_j:.0f}", f"{pj:.0f}" if pj else "-")
+            f"{gpts:.2f}", f"{pg:.2f}" if pg else "-",
+            f"{gpts / pg:.2f}" if pg else "-",
+            f"{energy_j:.0f}", f"{pj:.0f}" if pj else "-")
         comparisons.append(RowComparison(f"{typ} {total} cores GPt/s",
-                                         res.gpts, pg, unit="GPt/s"))
+                                         gpts, pg, unit="GPt/s"))
         comparisons.append(RowComparison(f"{typ} {total} cores energy",
-                                         res.energy_j, pj, unit="J"))
+                                         energy_j, pj, unit="J"))
 
     result = ExperimentResult("table8", table.title, table, comparisons)
     result.notes.append(

@@ -16,7 +16,13 @@ The fault plane has three layers:
   (:func:`run_hang_demo`).
 """
 
-from repro.faults.campaign import CampaignConfig, run_campaign, run_hang_demo
+from repro.faults.campaign import (
+    CampaignConfig,
+    render_campaign_sweep,
+    run_campaign,
+    run_campaign_sweep,
+    run_hang_demo,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     CoreFailure,
@@ -38,6 +44,8 @@ __all__ = [
     "NocFault",
     "PcieCorruption",
     "SolverBitFlip",
+    "render_campaign_sweep",
     "run_campaign",
+    "run_campaign_sweep",
     "run_hang_demo",
 ]

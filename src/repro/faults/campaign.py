@@ -40,7 +40,8 @@ from repro.ttmetal.host import (CreateKernel, DeviceHangError, EnqueueProgram,
                                 Program)
 from repro.ttmetal.buffers import create_buffer
 
-__all__ = ["CampaignConfig", "run_campaign", "run_hang_demo"]
+__all__ = ["CampaignConfig", "run_campaign", "run_campaign_sweep",
+           "render_campaign_sweep", "run_hang_demo"]
 
 #: device-phase DRAM bank size: small, so random flip addresses often land
 #: inside the exercised buffer.
@@ -152,6 +153,59 @@ def run_campaign(cfg: CampaignConfig,
     report.note("solver degraded load factor", f"{res.degraded_factor:.4g}")
     report.note("solver time (modelled)", f"{res.time_s:.6g} s")
     return report
+
+
+def run_campaign_sweep(configs, jobs=None, cache=None, progress=None):
+    """Run many campaigns through the parallel sweep engine.
+
+    Returns the engine's :class:`~repro.parallel.engine.JobOutcome` list
+    in submission order; each successful outcome's ``result`` is the
+    campaign's :class:`~repro.analysis.resilience.ResilienceReport`
+    (reconstructed identically whether computed fresh or replayed from
+    the content-addressed cache).  A crashed worker isolates only its
+    own campaign — the failure is reported in the fault plane's own
+    vocabulary (``sweep.job`` / ``isolated``) rather than aborting the
+    sweep, mirroring how the campaigns themselves treat device faults.
+    """
+    from repro.parallel import JobSpec, run_jobs
+
+    specs = [JobSpec("campaign", cfg, seed=cfg.seed) for cfg in configs]
+    return run_jobs(specs, jobs=jobs, cache=cache, progress=progress)
+
+
+def render_campaign_sweep(outcomes) -> str:
+    """Deterministic multi-campaign summary (byte-stable across ``-j``).
+
+    Renders every campaign report in submission order plus a summary
+    table of per-seed invariants (trace events, restarts, detected SDC,
+    residual).  Only deterministic fields appear here — worker ids and
+    wall-clock live in :func:`repro.parallel.render_job_report`, which
+    ``repro faults --seeds ... --report`` prints separately.
+    """
+    from repro.analysis.report import Table
+    from repro.parallel import outcomes_trace
+
+    blocks = []
+    summary = Table("Campaign sweep summary",
+                    ["seed", "status", "trace events", "restarts",
+                     "detected SDC", "residual"])
+    for out in outcomes:
+        cfg = out.spec.config
+        if out.record.ok:
+            report = out.result
+            blocks.append(report.render())
+            summary.add_row(cfg.seed, "ok", len(report.trace),
+                            report.outcome.get("solver restarts", "-"),
+                            report.outcome.get("solver detected SDC", "-"),
+                            report.outcome.get("solver residual", "-"))
+        else:
+            summary.add_row(cfg.seed, "ISOLATED", "-", "-", "-", "-")
+    failures = outcomes_trace(outcomes)
+    blocks.append(summary.render())
+    if len(failures):
+        blocks.append("isolated jobs (fault-plane vocabulary):\n"
+                      + failures.to_text().rstrip())
+    return "\n\n".join(blocks)
 
 
 def _poll_kernel(ctx):

@@ -1,0 +1,223 @@
+"""Content-addressed, on-disk cache of sweep-job results.
+
+Every sweep point the :mod:`repro.parallel` engine runs is fully
+deterministic: the same (repro version, job config, seed) triple always
+produces the same invariant outputs (simulated time, event counts,
+result hashes, table cells).  That makes the result a pure function of
+its inputs, so it can be cached by content address:
+
+    key = sha256(version \\n kind \\n canonical_json(config) \\n seed)
+
+and re-running an unchanged sweep point becomes a disk read.  Repeated
+``repro experiments`` / ``repro faults --seeds`` invocations are then
+near-free — only *changed* points recompute.
+
+Only the job's JSON-safe *payload* is stored (never wall-clock timings,
+which are host noise), so a cache hit reconstructs results that are
+byte-identical to a fresh run.
+
+Escape hatches: pass ``--no-cache`` on the CLI, or set
+``REPRO_SWEEP_CACHE=0`` (any of ``0/off/false/no``) to disable caching
+globally.  Setting ``REPRO_SWEEP_CACHE`` to a path both enables the
+cache and selects its directory (the default is
+``$XDG_CACHE_HOME/repro/sweeps``, i.e. ``~/.cache/repro/sweeps``).
+
+A corrupted cache entry (truncated write, bad JSON, schema drift) is
+never fatal: the entry is dropped with a warning and the job recomputes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import warnings
+from typing import Any, Optional, Union
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "cache_version",
+    "canonical_config_json",
+    "default_cache_dir",
+    "job_key",
+    "resolve_cache",
+]
+
+#: schema tag stored in every entry; bump on incompatible layout changes.
+CACHE_SCHEMA = "repro-sweep-cache/1"
+
+#: ``REPRO_SWEEP_CACHE`` values that disable caching outright.
+_OFF_VALUES = ("0", "off", "false", "no")
+
+_version_cache: Optional[str] = None
+
+
+def cache_version(refresh: bool = False) -> str:
+    """The version component of every cache key.
+
+    ``git describe --always --dirty`` when the tree is a git checkout
+    (so every commit — and every dirty tree — gets its own cache
+    namespace), falling back to the package version.  Memoised: one
+    subprocess per process, not per job.
+    """
+    global _version_cache
+    if _version_cache is not None and not refresh:
+        return _version_cache
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    version: Optional[str] = None
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"], cwd=root,
+            capture_output=True, text=True, timeout=10)
+        if out.returncode == 0 and out.stdout.strip():
+            version = "git:" + out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        version = None
+    if version is None:
+        from repro import __version__
+        version = "pkg:" + __version__
+    _version_cache = version
+    return version
+
+
+def _jsonable(obj: Any) -> Any:
+    """Reduce ``obj`` to canonical JSON-safe data, or raise TypeError.
+
+    Dataclasses become sorted dicts, tuples become lists; anything that
+    is not plainly serialisable is rejected so a config type change can
+    never silently produce an unstable (or colliding) cache key.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"job config contains a non-canonical value: {obj!r} "
+        f"({type(obj).__name__}); only dataclasses, dicts, sequences and "
+        "JSON scalars can be cache-keyed")
+
+
+def canonical_config_json(config: Any) -> str:
+    """Canonical (sorted-key, no-whitespace-drift) JSON of a job config."""
+    return json.dumps(_jsonable(config), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def job_key(kind: str, config: Any, seed: int,
+            version: Optional[str] = None) -> str:
+    """The content address of one job: sha256 over version/kind/config/seed."""
+    blob = "\n".join([version if version is not None else cache_version(),
+                      kind, canonical_config_json(config), str(int(seed))])
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_SWEEP_CACHE", "").strip()
+    if env and env.lower() not in _OFF_VALUES \
+            and env.lower() not in ("1", "on", "true", "yes"):
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") \
+        or os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro", "sweeps")
+
+
+class ResultCache:
+    """One cache directory of ``<key[:2]>/<key>.json`` entries."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            if doc.get("schema") != CACHE_SCHEMA or "payload" not in doc:
+                raise ValueError(f"unexpected entry shape: "
+                                 f"schema={doc.get('schema')!r}")
+            self.hits += 1
+            return doc["payload"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError) as exc:
+            # Corrupted entry: drop it, warn, and let the job recompute.
+            warnings.warn(
+                f"repro.parallel: dropping corrupted sweep-cache entry "
+                f"{path}: {exc}", RuntimeWarning, stacklevel=2)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+
+    def put(self, key: str, kind: str, config: Any, seed: int,
+            payload: dict) -> None:
+        """Store ``payload`` atomically (tmp file + rename)."""
+        path = self._path(key)
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "version": cache_version(),
+            "kind": kind,
+            "seed": int(seed),
+            "config": _jsonable(config),
+            "payload": payload,
+        }
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = path + f".tmp{os.getpid()}"
+            with open(tmp, "w") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError as exc:  # a broken cache must never break a sweep
+            warnings.warn(
+                f"repro.parallel: could not write sweep-cache entry "
+                f"{path}: {exc}", RuntimeWarning, stacklevel=2)
+
+
+def resolve_cache(cache: Union[None, bool, str, ResultCache]
+                  ) -> Optional[ResultCache]:
+    """Resolve a user-facing cache argument to a :class:`ResultCache`.
+
+    * ``ResultCache`` — used as-is (the env kill switch still wins);
+    * a path string — cache rooted there;
+    * ``True`` — cache at the default directory (the CLI default);
+    * ``False`` — no cache (``--no-cache``);
+    * ``None`` — library default: enabled only when ``REPRO_SWEEP_CACHE``
+      is set to an enabling value, so tests and ad-hoc imports never
+      touch the user's cache unless asked.
+
+    ``REPRO_SWEEP_CACHE=0`` (or ``off``/``false``/``no``) disables the
+    cache regardless of the argument — it is the global escape hatch.
+    """
+    env = os.environ.get("REPRO_SWEEP_CACHE", "").strip()
+    if env.lower() in _OFF_VALUES:
+        return None
+    if cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, str):
+        return ResultCache(cache)
+    if cache is True:
+        return ResultCache()
+    # cache is None: opt-in via the environment only.
+    if env:
+        return ResultCache()
+    return None

@@ -1,0 +1,254 @@
+"""Job specifications and the registry of runnable job kinds.
+
+A sweep point is described by a picklable :class:`JobSpec` — a job
+*kind* name, a config dataclass, a seed, and a snapshot of the
+process-environment toggles that can change simulation semantics
+(``REPRO_ENGINE_FASTPATH``, ``REPRO_LINT``).  The snapshot is taken when
+the spec is *created*, so a worker process always reproduces the
+environment the sweep was planned under even if the parent's environment
+drifts between planning and execution (or the worker inherits a stale
+fork image).  :func:`execute_spec` applies and asserts the snapshot
+before running.
+
+A :class:`JobKind` splits a job into three pure functions:
+
+* ``run(config, seed) -> (payload, obs)`` — compute the point; the
+  payload is the JSON-safe *invariant* outcome (what the cache stores),
+  ``obs`` are deterministic observability numbers (events, sim_now);
+* ``from_payload(config, seed, payload)`` — rebuild the consumer-facing
+  result object from a payload, whether freshly computed or cached.
+
+Because cache hits go through the same ``from_payload`` as fresh runs,
+a warmed cache produces byte-identical reports.
+
+Built-in kinds: ``stream`` (one streaming configuration), ``campaign``
+(one seeded fault-injection campaign), ``table8`` (one Table VIII row),
+``bench_invariants`` (one benchmark's determinism invariants).  Custom
+kinds can be registered with :func:`register_kind`; they must live in an
+importable module (workers resolve kinds by name).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.parallel.cache import job_key
+
+__all__ = [
+    "SNAPSHOT_KEYS",
+    "EnvDriftError",
+    "JobKind",
+    "JobSpec",
+    "all_kinds",
+    "execute_spec",
+    "get_kind",
+    "register_kind",
+    "snapshot_env",
+]
+
+#: environment toggles that alter simulation semantics; snapshot these
+#: into every JobSpec so workers cannot inherit drifted values.
+SNAPSHOT_KEYS = ("REPRO_ENGINE_FASTPATH", "REPRO_LINT")
+
+
+class EnvDriftError(RuntimeError):
+    """A worker's applied environment disagreed with the job snapshot."""
+
+
+def snapshot_env() -> Tuple[Tuple[str, Optional[str]], ...]:
+    """Capture the semantic env toggles as a hashable, picklable tuple."""
+    return tuple((k, os.environ.get(k)) for k in SNAPSHOT_KEYS)
+
+
+def _apply_env(snapshot: Tuple[Tuple[str, Optional[str]], ...]) -> None:
+    for key, value in snapshot:
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
+def _assert_env(snapshot: Tuple[Tuple[str, Optional[str]], ...]) -> None:
+    """Assert the applied snapshot took effect where it matters.
+
+    ``_fastpath_default`` is re-read from the environment at every
+    Simulator construction, so checking it here proves every simulator
+    the job builds will see the planned toggle.
+    """
+    from repro.sim.engine import _fastpath_default
+    want = dict(snapshot).get("REPRO_ENGINE_FASTPATH")
+    expected = (want or "1").lower() not in ("0", "false", "off", "no")
+    if _fastpath_default() != expected:
+        raise EnvDriftError(
+            f"worker REPRO_ENGINE_FASTPATH resolves to "
+            f"{_fastpath_default()} but the job was planned with "
+            f"{expected} (snapshot {dict(snapshot)!r})")
+    for key, value in snapshot:
+        if os.environ.get(key) != value:
+            raise EnvDriftError(
+                f"worker env {key}={os.environ.get(key)!r} does not match "
+                f"the job snapshot {value!r}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sweep point: kind + config dataclass + seed + env snapshot."""
+
+    kind: str
+    config: Any
+    seed: int = 0
+    env: Tuple[Tuple[str, Optional[str]], ...] = field(
+        default_factory=snapshot_env)
+
+    def key(self, version: Optional[str] = None) -> str:
+        """Content address of this job (see :func:`cache.job_key`)."""
+        return job_key(self.kind, self.config, self.seed, version)
+
+
+@dataclass(frozen=True)
+class JobKind:
+    """How to run one kind of job and (de)serialise its outcome."""
+
+    name: str
+    #: (config, seed) -> (JSON-safe payload, deterministic obs dict)
+    run: Callable[[Any, int], Tuple[dict, dict]]
+    #: (config, seed, payload) -> consumer-facing result object
+    from_payload: Callable[[Any, int, dict], Any]
+
+
+_REGISTRY: Dict[str, JobKind] = {}
+
+
+def register_kind(kind: JobKind, replace: bool = False) -> JobKind:
+    if kind.name in _REGISTRY and not replace:
+        raise ValueError(f"job kind {kind.name!r} is already registered")
+    _REGISTRY[kind.name] = kind
+    return kind
+
+
+def get_kind(name: str) -> JobKind:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown job kind {name!r} (registered: "
+            f"{', '.join(sorted(_REGISTRY)) or 'none'}); custom kinds must "
+            "be registered in a module the worker process imports") from None
+
+
+def all_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def execute_spec(spec: JobSpec) -> Tuple[dict, dict]:
+    """Run one job under its snapshot env; returns (payload, obs)."""
+    _apply_env(spec.env)
+    _assert_env(spec.env)
+    kind = get_kind(spec.kind)
+    payload, obs = kind.run(spec.config, spec.seed)
+    return payload, obs
+
+
+def result_from_payload(spec: JobSpec, payload: dict) -> Any:
+    return get_kind(spec.kind).from_payload(spec.config, spec.seed, payload)
+
+
+# --------------------------------------------------------------------------
+# built-in job kinds
+# --------------------------------------------------------------------------
+# The heavy imports live inside the run functions so importing
+# repro.parallel stays cheap and free of import cycles (streaming,
+# faults and bench all import repro.parallel themselves).
+
+def _run_stream(config, seed) -> Tuple[dict, dict]:
+    from repro.arch.device import GrayskullDevice
+    from repro.streaming.kernels import run_streaming
+
+    dev = GrayskullDevice()
+    res = run_streaming(config, device=dev)
+    payload = {
+        "runtime_s": res.runtime_s,
+        "read_requests": res.read_requests,
+        "write_requests": res.write_requests,
+        "bytes_read": res.bytes_read,
+        "bytes_written": res.bytes_written,
+        "verified": res.verified,
+    }
+    obs = {"events": dev.sim.events_processed, "sim_now": dev.sim.now}
+    return payload, obs
+
+
+def _stream_from_payload(config, seed, payload):
+    from repro.streaming.kernels import StreamResult
+    return StreamResult(config=config, **payload)
+
+
+def _run_campaign_job(config, seed) -> Tuple[dict, dict]:
+    from repro.faults.campaign import run_campaign
+
+    report = run_campaign(config)
+    payload = {
+        "title": report.title,
+        "outcome": dict(report.outcome),
+        "events": [[e.t, e.kind, e.where, e.action, e.detail]
+                   for e in report.trace.events],
+    }
+    obs = {"events": len(report.trace),
+           "detected": report.trace.count(action="detected")}
+    return payload, obs
+
+
+def _campaign_from_payload(config, seed, payload):
+    from repro.analysis.resilience import ResilienceReport
+
+    report = ResilienceReport(title=payload["title"])
+    report.outcome.update(payload["outcome"])
+    for t, kind, where, action, detail in payload["events"]:
+        report.trace.record(t, kind, where, action, detail)
+    return report
+
+
+def _run_table8_row(config, seed) -> Tuple[dict, dict]:
+    from repro.core.grid import LaplaceProblem
+    from repro.core.solver import JacobiSolver
+
+    problem = LaplaceProblem(nx=config.nx, ny=config.ny)
+    if config.typ == "cpu":
+        solver = JacobiSolver(backend="cpu", n_threads=config.total)
+    else:
+        solver = JacobiSolver(backend="e150-model",
+                              cores=(config.cy, config.cx),
+                              n_cards=max(config.cards, 1))
+    res = solver.solve(problem, config.iterations,
+                       compute_answer=config.compute_answers)
+    payload = {"gpts": res.gpts, "energy_j": res.energy_j,
+               "time_s": res.time_s}
+    obs = {"sim_now": res.time_s}
+    return payload, obs
+
+
+def _table8_from_payload(config, seed, payload):
+    return payload
+
+
+def _run_bench_invariants(config, seed) -> Tuple[dict, dict]:
+    from repro import bench
+
+    _kind, _metric, _unit, _higher, fn = bench.BENCHMARKS[config.name]
+    _wall, _value, inv = fn(config.smoke)
+    obs = {k: inv[k] for k in ("events", "sim_now") if k in inv}
+    return {"invariants": inv}, obs
+
+
+def _bench_from_payload(config, seed, payload):
+    return payload["invariants"]
+
+
+register_kind(JobKind("stream", _run_stream, _stream_from_payload))
+register_kind(JobKind("campaign", _run_campaign_job,
+                      _campaign_from_payload))
+register_kind(JobKind("table8", _run_table8_row, _table8_from_payload))
+register_kind(JobKind("bench_invariants", _run_bench_invariants,
+                      _bench_from_payload))

@@ -4,6 +4,15 @@ Each driver returns structured rows (batch size / page size / cores →
 runtime) ready for the report formatter.  Devices are created fresh per
 configuration so runs never share queue state.
 
+Sweep points are embarrassingly parallel and fully deterministic, so
+every driver routes its configurations through the
+:mod:`repro.parallel` engine: ``jobs`` fans the points out across
+worker processes (results come back in submission order, so ``jobs=4``
+output is byte-identical to the sequential ``jobs=1`` path) and
+``cache`` re-uses content-addressed results from previous runs.  The
+``*_configs`` builders expose the exact configuration lists so the
+``repro sweep`` CLI can drive the same plans with per-job reporting.
+
 The problem size is parameterisable: the paper uses 4096×4096 32-bit
 integers; tests use smaller grids (runtimes scale linearly in rows, which
 ``tests/streaming`` verifies).
@@ -14,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
-from repro.streaming.kernels import StreamConfig, StreamResult, run_streaming
+from repro.parallel import JobSpec, sweep_results
+from repro.streaming.kernels import StreamConfig, StreamResult
 
 __all__ = [
     "BatchSweepRow",
@@ -22,6 +32,11 @@ __all__ = [
     "sweep_replication",
     "sweep_page_sizes",
     "sweep_multicore",
+    "batch_sweep_configs",
+    "replication_sweep_configs",
+    "page_sweep_configs",
+    "multicore_sweep_configs",
+    "run_stream_configs",
     "PAPER_BATCH_SIZES",
     "PAPER_PAGE_SIZES",
 ]
@@ -46,9 +61,90 @@ class BatchSweepRow:
     write_sync_s: float
 
 
+# --------------------------------------------------------------------------
+# configuration builders (shared by the drivers and the `repro sweep` CLI)
+# --------------------------------------------------------------------------
+
+def batch_sweep_configs(base: StreamConfig, batch_sizes: Sequence[int],
+                        contiguous: bool = True
+                        ) -> List[tuple[str, StreamConfig]]:
+    """The Table III/IV plan: 4 labelled configurations per batch size."""
+    base = replace(base, contiguous=contiguous)
+    out: List[tuple[str, StreamConfig]] = []
+    for batch in batch_sizes:
+        if base.row_bytes % batch:
+            raise ValueError(f"batch {batch} does not divide the row size")
+        out.append((f"{batch}B read nosync",
+                    replace(base, read_batch=batch)))
+        out.append((f"{batch}B read sync",
+                    replace(base, read_batch=batch, sync_read=True)))
+        out.append((f"{batch}B write nosync",
+                    replace(base, write_batch=batch)))
+        out.append((f"{batch}B write sync",
+                    replace(base, write_batch=batch, sync_write=True)))
+    return out
+
+
+def replication_sweep_configs(base: StreamConfig,
+                              factors: Sequence[int]
+                              ) -> List[tuple[str, StreamConfig]]:
+    """The Table V plan: one configuration per replication factor."""
+    out = []
+    for f in factors:
+        if f < 1:
+            raise ValueError("replication factor counts total reads; >= 1")
+        out.append((f"replication x{f}", replace(base, replication=f - 1)))
+    return out
+
+
+def page_sweep_configs(base: StreamConfig,
+                       page_sizes: Optional[Sequence[Optional[int]]],
+                       replications: Sequence[int]
+                       ) -> List[tuple[str, StreamConfig]]:
+    """The Table VI plan: page size × replication factor."""
+    pages = PAPER_PAGE_SIZES if page_sizes is None else list(page_sizes)
+    out = []
+    for page in pages:
+        label = "none" if page is None else f"{page >> 10}K"
+        for repl in replications:
+            out.append((f"page {label} repl {repl}",
+                        replace(base, page_size=page, replication=repl)))
+    return out
+
+
+def multicore_sweep_configs(base: StreamConfig,
+                            page_sizes: Optional[Sequence[Optional[int]]],
+                            core_counts: Sequence[int]
+                            ) -> List[tuple[str, StreamConfig]]:
+    """The Table VII plan: page size × core count (paper stops at 2K)."""
+    pages = (PAPER_PAGE_SIZES[:-1] if page_sizes is None
+             else list(page_sizes))
+    out = []
+    for page in pages:
+        label = "none" if page is None else f"{page >> 10}K"
+        for n in core_counts:
+            out.append((f"page {label} cores {n}",
+                        replace(base, page_size=page, n_cores=n)))
+    return out
+
+
+def run_stream_configs(configs: Sequence[StreamConfig],
+                       jobs: Optional[int] = None,
+                       cache=None) -> List[StreamResult]:
+    """Run streaming configurations through the parallel sweep engine."""
+    specs = [JobSpec("stream", cfg) for cfg in configs]
+    return sweep_results(specs, jobs=jobs, cache=cache)
+
+
+# --------------------------------------------------------------------------
+# drivers
+# --------------------------------------------------------------------------
+
 def sweep_batch_sizes(base: Optional[StreamConfig] = None,
                       batch_sizes: Sequence[int] = PAPER_BATCH_SIZES,
-                      contiguous: bool = True) -> List[BatchSweepRow]:
+                      contiguous: bool = True, *,
+                      jobs: Optional[int] = None,
+                      cache=None) -> List[BatchSweepRow]:
     """Tables III (contiguous) and IV (non-contiguous).
 
     Exactly as the paper: when sweeping the read batch, writes stay at the
@@ -56,17 +152,12 @@ def sweep_batch_sizes(base: Optional[StreamConfig] = None,
     request on the swept side.
     """
     base = base or StreamConfig()
-    base = replace(base, contiguous=contiguous)
+    plan = batch_sweep_configs(base, batch_sizes, contiguous)
+    results = run_stream_configs([cfg for _, cfg in plan],
+                                 jobs=jobs, cache=cache)
     rows = []
-    for batch in batch_sizes:
-        if base.row_bytes % batch:
-            raise ValueError(f"batch {batch} does not divide the row size")
-        read_ns = run_streaming(replace(base, read_batch=batch))
-        read_s = run_streaming(replace(base, read_batch=batch,
-                                       sync_read=True))
-        write_ns = run_streaming(replace(base, write_batch=batch))
-        write_s = run_streaming(replace(base, write_batch=batch,
-                                        sync_write=True))
+    for i, batch in enumerate(batch_sizes):
+        read_ns, read_s, write_ns, write_s = results[4 * i:4 * i + 4]
         rows.append(BatchSweepRow(
             batch_size=batch,
             requests_per_row=base.row_bytes // batch,
@@ -79,50 +170,47 @@ def sweep_batch_sizes(base: Optional[StreamConfig] = None,
 
 
 def sweep_replication(base: Optional[StreamConfig] = None,
-                      factors: Sequence[int] = (1, 2, 4, 8, 16, 32)
-                      ) -> List[tuple[int, float]]:
+                      factors: Sequence[int] = (1, 2, 4, 8, 16, 32), *,
+                      jobs: Optional[int] = None,
+                      cache=None) -> List[tuple[int, float]]:
     """Table V: replicate every row read ``factor`` times in total."""
     base = base or StreamConfig()
-    out = []
-    for f in factors:
-        if f < 1:
-            raise ValueError("replication factor counts total reads; >= 1")
-        res = run_streaming(replace(base, replication=f - 1))
-        out.append((f, res.runtime_s))
-    return out
+    plan = replication_sweep_configs(base, factors)
+    results = run_stream_configs([cfg for _, cfg in plan],
+                                 jobs=jobs, cache=cache)
+    return [(f, res.runtime_s) for f, res in zip(factors, results)]
 
 
 def sweep_page_sizes(base: Optional[StreamConfig] = None,
                      page_sizes: Sequence[Optional[int]] = None,
-                     replications: Sequence[int] = (0, 8, 16, 32)
+                     replications: Sequence[int] = (0, 8, 16, 32), *,
+                     jobs: Optional[int] = None,
+                     cache=None
                      ) -> List[tuple[Optional[int], List[float]]]:
     """Table VI: interleaving page size × replication factor."""
     base = base or StreamConfig()
     pages = PAPER_PAGE_SIZES if page_sizes is None else list(page_sizes)
-    out = []
-    for page in pages:
-        runtimes = []
-        for repl in replications:
-            res = run_streaming(replace(base, page_size=page,
-                                        replication=repl))
-            runtimes.append(res.runtime_s)
-        out.append((page, runtimes))
-    return out
+    plan = page_sweep_configs(base, pages, replications)
+    results = run_stream_configs([cfg for _, cfg in plan],
+                                 jobs=jobs, cache=cache)
+    n = len(replications)
+    return [(page, [r.runtime_s for r in results[i * n:(i + 1) * n]])
+            for i, page in enumerate(pages)]
 
 
 def sweep_multicore(base: Optional[StreamConfig] = None,
                     page_sizes: Sequence[Optional[int]] = None,
-                    core_counts: Sequence[int] = (1, 2, 4, 8)
+                    core_counts: Sequence[int] = (1, 2, 4, 8), *,
+                    jobs: Optional[int] = None,
+                    cache=None
                     ) -> List[tuple[Optional[int], List[float]]]:
     """Table VII: interleaving page size × number of Tensix cores."""
     base = base or StreamConfig()
     pages = (PAPER_PAGE_SIZES[:-1] if page_sizes is None
              else list(page_sizes))  # the paper's Table VII stops at 2K
-    out = []
-    for page in pages:
-        runtimes = []
-        for n in core_counts:
-            res = run_streaming(replace(base, page_size=page, n_cores=n))
-            runtimes.append(res.runtime_s)
-        out.append((page, runtimes))
-    return out
+    plan = multicore_sweep_configs(base, pages, core_counts)
+    results = run_stream_configs([cfg for _, cfg in plan],
+                                 jobs=jobs, cache=cache)
+    n = len(core_counts)
+    return [(page, [r.runtime_s for r in results[i * n:(i + 1) * n]])
+            for i, page in enumerate(pages)]

@@ -9,6 +9,20 @@ from repro.perfmodel.calibration import DEFAULT_COSTS
 from repro.sim import Simulator
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(monkeypatch, tmp_path):
+    """Keep the sweep result cache hermetic per test.
+
+    CLI handlers default the cache ON at ``$XDG_CACHE_HOME/repro/sweeps``;
+    pointing XDG at tmp_path means tests exercising those paths can never
+    read (or pollute) the user's real cache, and unsetting the env
+    overrides keeps the library default (cache off) in effect.
+    """
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg-cache"))
+    monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+
 @pytest.fixture
 def sim():
     return Simulator()

@@ -57,3 +57,89 @@ class TestCommands:
                      "--iterations", "2", "--variant", "initial"]) == 0
         out = capsys.readouterr().out
         assert "bottleneck" in out
+
+
+class TestSweepCommand:
+    _argv = ["sweep", "pages", "--rows", "32", "--row-elems", "256"]
+
+    def test_parallel_stdout_matches_sequential(self, capsys):
+        assert main(self._argv + ["--no-cache", "-j", "1"]) == 0
+        seq = capsys.readouterr().out
+        assert main(self._argv + ["--no-cache", "-j", "2"]) == 0
+        par = capsys.readouterr().out
+        assert par == seq
+        assert "sweep pages" in seq and "runtime s" in seq
+
+    def test_global_jobs_flag_before_subcommand(self, capsys):
+        assert main(["-j", "2", "--no-cache"] + self._argv) == 0
+        assert "sweep pages" in capsys.readouterr().out
+
+    def test_report_flag_adds_job_table(self, capsys):
+        assert main(self._argv + ["--no-cache", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep job report" in out
+
+    def test_second_run_is_served_from_cache(self, capsys, monkeypatch,
+                                             tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "cache"))
+        assert main(self._argv) == 0
+        cold = capsys.readouterr()
+        assert main(self._argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out          # byte-identical from cache
+        assert "hits=0" in cold.err
+        assert "failures=0 " in warm.err
+        assert "hits=0" not in warm.err      # every point was a hit
+
+    def test_batch_and_multicore_kinds(self, capsys):
+        assert main(["sweep", "batch", "--rows", "32", "--row-elems",
+                     "256", "--no-cache"]) == 0
+        assert "sweep batch" in capsys.readouterr().out
+        assert main(["sweep", "multicore", "--rows", "32", "--row-elems",
+                     "256", "--no-cache"]) == 0
+        assert "sweep multicore" in capsys.readouterr().out
+
+
+class TestFaultsSeeds:
+    _argv = ["faults", "--seeds", "0,1", "--iterations", "16",
+             "--no-cache"]
+
+    def test_multi_seed_summary(self, capsys):
+        assert main(self._argv) == 0
+        out = capsys.readouterr().out
+        assert "Campaign sweep summary" in out
+        assert "seed=0" in out and "seed=1" in out
+
+    def test_parallel_matches_sequential(self, capsys):
+        assert main(self._argv + ["-j", "1"]) == 0
+        seq = capsys.readouterr().out
+        assert main(self._argv + ["-j", "2"]) == 0
+        par = capsys.readouterr().out
+        assert par == seq
+
+    def test_report_flag(self, capsys):
+        assert main(self._argv + ["-j", "2", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep job report" in out
+
+    def test_single_seed_output_unchanged(self, capsys):
+        # the pre-engine single-campaign path must be byte-stable
+        assert main(["faults", "--seed", "1", "--iterations", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault-injection campaign (seed=1)" in out
+
+
+class TestParallelTableFlags:
+    def test_table5_quick_j2_matches_sequential(self, capsys):
+        assert main(["table", "5", "--quick", "--no-cache", "-j", "1"]) == 0
+        seq = capsys.readouterr().out
+        assert main(["table", "5", "--quick", "--no-cache", "-j", "2"]) == 0
+        par = capsys.readouterr().out
+        assert par == seq
+
+    def test_table8_quick_j2_matches_sequential(self, capsys):
+        assert main(["table", "8", "--quick", "--no-cache", "-j", "1"]) == 0
+        seq = capsys.readouterr().out
+        assert main(["table", "8", "--quick", "--no-cache", "-j", "2"]) == 0
+        par = capsys.readouterr().out
+        assert par == seq

@@ -1,0 +1,194 @@
+"""Content-addressed cache: keys, hits/misses, corruption fallback."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.parallel import (JobKind, JobSpec, ResultCache,
+                            canonical_config_json, job_key, register_kind,
+                            resolve_cache, run_jobs)
+
+
+@dataclass(frozen=True)
+class CountConfig:
+    """Config whose job counts executions via a marker file."""
+
+    value: int = 0
+    marker: str = ""     #: file appended to on every real execution
+
+
+def _run_count(config, seed):
+    with open(config.marker, "a") as fh:
+        fh.write("x")
+    return ({"double": config.value * 2}, {"events": config.value})
+
+
+def _count_from_payload(config, seed, payload):
+    return payload["double"]
+
+
+register_kind(JobKind("_test_count", _run_count, _count_from_payload),
+              replace=True)
+
+
+class TestKeys:
+    def test_key_is_stable(self):
+        a = job_key("stream", CountConfig(value=3), 0, version="v1")
+        b = job_key("stream", CountConfig(value=3), 0, version="v1")
+        assert a == b
+
+    def test_key_changes_with_config(self):
+        a = job_key("stream", CountConfig(value=3), 0, version="v1")
+        b = job_key("stream", CountConfig(value=4), 0, version="v1")
+        assert a != b
+
+    def test_key_changes_with_seed(self):
+        a = job_key("stream", CountConfig(value=3), 0, version="v1")
+        b = job_key("stream", CountConfig(value=3), 1, version="v1")
+        assert a != b
+
+    def test_key_changes_with_version(self):
+        a = job_key("stream", CountConfig(value=3), 0, version="v1")
+        b = job_key("stream", CountConfig(value=3), 0, version="v2")
+        assert a != b
+
+    def test_key_changes_with_kind(self):
+        a = job_key("stream", CountConfig(value=3), 0, version="v1")
+        b = job_key("campaign", CountConfig(value=3), 0, version="v1")
+        assert a != b
+
+    def test_canonical_json_sorts_and_normalises(self):
+        assert canonical_config_json({"b": (1, 2), "a": 3}) \
+            == '{"a":3,"b":[1,2]}'
+
+    def test_non_jsonable_config_rejected(self):
+        with pytest.raises(TypeError, match="non-canonical"):
+            canonical_config_json({"x": object()})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        store = ResultCache(str(tmp_path))
+        cfg = CountConfig(value=3)
+        key = job_key("_test_count", cfg, 0, version="v1")
+        assert store.get(key) is None
+        store.put(key, "_test_count", cfg, 0, {"data": {"double": 6}})
+        assert store.get(key) == {"data": {"double": 6}}
+        assert store.hits == 1 and store.misses == 1
+
+    def test_corrupted_entry_warns_and_misses(self, tmp_path):
+        store = ResultCache(str(tmp_path))
+        cfg = CountConfig(value=3)
+        key = job_key("_test_count", cfg, 0, version="v1")
+        store.put(key, "_test_count", cfg, 0, {"data": {}})
+        path = store._path(key)
+        with open(path, "w") as fh:
+            fh.write("{ not json")
+        with pytest.warns(RuntimeWarning, match="corrupted sweep-cache"):
+            assert store.get(key) is None
+        import os
+        assert not os.path.exists(path)  # dropped, next put rewrites
+
+    def test_wrong_schema_treated_as_corruption(self, tmp_path):
+        store = ResultCache(str(tmp_path))
+        key = job_key("_test_count", CountConfig(), 0, version="v1")
+        store.put(key, "_test_count", CountConfig(), 0, {"data": {}})
+        import json
+        path = store._path(key)
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["schema"] = "something-else/9"
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.warns(RuntimeWarning, match="corrupted sweep-cache"):
+            assert store.get(key) is None
+
+
+class TestEngineCaching:
+    def _specs(self, tmp_path, values):
+        marker = str(tmp_path / "executions")
+        return ([JobSpec("_test_count", CountConfig(value=v, marker=marker))
+                 for v in values], marker)
+
+    def _executions(self, marker):
+        try:
+            with open(marker) as fh:
+                return len(fh.read())
+        except FileNotFoundError:
+            return 0
+
+    def test_second_run_hits(self, tmp_path):
+        specs, marker = self._specs(tmp_path, [1, 2, 3])
+        cache_dir = str(tmp_path / "cache")
+        first = run_jobs(specs, jobs=1, cache=cache_dir)
+        assert self._executions(marker) == 3
+        assert all(not o.record.cached for o in first)
+        second = run_jobs(specs, jobs=1, cache=cache_dir)
+        assert self._executions(marker) == 3   # nothing recomputed
+        assert all(o.record.cached for o in second)
+        assert [o.result for o in second] == [o.result for o in first]
+        assert [o.record.obs for o in second] == \
+            [o.record.obs for o in first]
+
+    def test_config_change_misses(self, tmp_path):
+        specs, marker = self._specs(tmp_path, [1])
+        cache_dir = str(tmp_path / "cache")
+        run_jobs(specs, jobs=1, cache=cache_dir)
+        changed, _ = self._specs(tmp_path, [2])
+        run_jobs(changed, jobs=1, cache=cache_dir)
+        assert self._executions(marker) == 2
+
+    def test_seed_change_misses(self, tmp_path):
+        marker = str(tmp_path / "executions")
+        cfg = CountConfig(value=1, marker=marker)
+        cache_dir = str(tmp_path / "cache")
+        run_jobs([JobSpec("_test_count", cfg, seed=0)], cache=cache_dir)
+        run_jobs([JobSpec("_test_count", cfg, seed=1)], cache=cache_dir)
+        assert self._executions(marker) == 2
+
+    def test_corrupted_entry_recomputes(self, tmp_path):
+        from repro.parallel import cache_version
+        specs, marker = self._specs(tmp_path, [5])
+        cache_dir = str(tmp_path / "cache")
+        run_jobs(specs, jobs=1, cache=cache_dir)
+        store = ResultCache(cache_dir)
+        path = store._path(specs[0].key(cache_version()))
+        with open(path, "w") as fh:
+            fh.write("garbage")
+        with pytest.warns(RuntimeWarning, match="corrupted sweep-cache"):
+            again = run_jobs(specs, jobs=1, cache=cache_dir)
+        assert self._executions(marker) == 2   # recomputed, not fatal
+        assert again[0].record.ok and not again[0].record.cached
+        assert again[0].result == 10
+
+    def test_failed_jobs_never_cached(self, tmp_path):
+        from tests.parallel.test_engine import ToyConfig
+        cache_dir = str(tmp_path / "cache")
+        bad = JobSpec("_test_toy", ToyConfig(value=7, mode="raise"))
+        first = run_jobs([bad], jobs=1, cache=cache_dir)
+        assert not first[0].record.ok
+        second = run_jobs([bad], jobs=1, cache=cache_dir)
+        assert not second[0].record.cached   # failure was not stored
+
+
+class TestResolution:
+    def test_false_disables(self):
+        assert resolve_cache(False) is None
+
+    def test_none_is_off_without_env(self):
+        assert resolve_cache(None) is None
+
+    def test_none_enabled_by_env_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "c"))
+        store = resolve_cache(None)
+        assert store is not None and store.root == str(tmp_path / "c")
+
+    def test_env_kill_switch_beats_everything(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "0")
+        assert resolve_cache(True) is None
+        assert resolve_cache(str(tmp_path)) is None
+        assert resolve_cache(ResultCache(str(tmp_path))) is None
+
+    def test_string_sets_root(self, tmp_path):
+        store = resolve_cache(str(tmp_path))
+        assert store.root == str(tmp_path)

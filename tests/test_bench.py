@@ -117,3 +117,46 @@ class TestRunner:
     def test_default_report_path_is_datestamped(self):
         assert bench.default_report_path("2026-08-06") == \
             "BENCH_2026-08-06.json"
+
+
+class TestSchemaAdditions:
+    """PR: per-rep walls + host cpu_count, backward-compatible schema."""
+
+    def test_doc_records_host_and_timing_mode(self):
+        doc = bench.run_benchmarks(smoke=True, reps=1,
+                                   only=["engine_events"])
+        import os
+        assert doc["cpu_count"] == os.cpu_count()
+        assert doc["timings"] == "sequential"
+        assert doc["invariant_prepass"] is None   # sequential run
+
+    def test_results_carry_per_rep_walls(self):
+        doc = bench.run_benchmarks(smoke=True, reps=3,
+                                   only=["jacobi_single"])
+        (res,) = doc["results"]
+        assert len(res["rep_walls"]) == 3
+        assert all(w > 0 for w in res["rep_walls"])
+        # wall_s benchmarks keep the best (minimum) rep as headline
+        assert res["value"] == min(res["rep_walls"])
+
+    def test_old_baseline_without_new_keys_still_compares(self):
+        # a pre-PR baseline has neither rep_walls nor cpu_count; the
+        # comparator must accept it unchanged.
+        doc = bench.run_benchmarks(smoke=True, reps=1,
+                                   only=["engine_events"])
+        old = _doc([dict(doc["results"][0])])
+        old["results"][0].pop("rep_walls", None)
+        assert bench.compare(doc, old) == []
+
+    def test_parallel_prepass_checks_invariants(self):
+        # jobs=2 runs the macro invariant prepass through the sweep
+        # engine; timings stay sequential and the doc says so.
+        doc = bench.run_benchmarks(smoke=True, reps=1,
+                                   only=["engine_events", "jacobi_single"],
+                                   jobs=2)
+        assert doc["timings"] == "sequential"
+        pre = doc["invariant_prepass"]
+        assert pre is not None and pre["jobs"] == 2
+        assert "jacobi_single" in pre["benchmarks"]
+        # micro benchmarks are not part of the prepass
+        assert "engine_events" not in pre["benchmarks"]
