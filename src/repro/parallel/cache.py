@@ -6,7 +6,8 @@ produces the same invariant outputs (simulated time, event counts,
 result hashes, table cells).  That makes the result a pure function of
 its inputs, so it can be cached by content address:
 
-    key = sha256(version \\n kind \\n canonical_json(config) \\n seed)
+    key = sha256(version \\n kind \\n canonical_json(config) \\n seed
+                 \\n canonical_json(env_snapshot))
 
 and re-running an unchanged sweep point becomes a disk read.  Repeated
 ``repro experiments`` / ``repro faults --seeds`` invocations are then
@@ -33,8 +34,9 @@ import hashlib
 import json
 import os
 import subprocess
+import uuid
 import warnings
-from typing import Any, Optional, Union
+from typing import Any, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -55,28 +57,93 @@ _OFF_VALUES = ("0", "off", "false", "no")
 _version_cache: Optional[str] = None
 
 
+def _dirty_digest(root: str) -> Optional[str]:
+    """Content digest of the working tree's divergence from HEAD.
+
+    Hashes ``git diff HEAD`` (tracked modifications, staged or not)
+    plus the path and content of every untracked, non-ignored file, so
+    each distinct dirty *state* — not merely "dirty" — gets its own
+    cache namespace.  Untracked files count as divergence here even
+    though ``git describe --dirty`` ignores them: a new, not-yet-added
+    module can change sweep results just as an edit can.  Returns ``""``
+    when the tree has no divergence, and None when the state cannot be
+    captured.
+    """
+    digest = hashlib.sha256()
+    dirty = False
+    try:
+        diff = subprocess.run(["git", "diff", "HEAD"], cwd=root,
+                              capture_output=True, timeout=30)
+        if diff.returncode != 0:
+            return None
+        if diff.stdout:
+            dirty = True
+            digest.update(diff.stdout)
+        ls = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=root, capture_output=True, text=True, timeout=30)
+        if ls.returncode != 0:
+            return None
+        for rel in sorted(p for p in ls.stdout.splitlines() if p):
+            dirty = True
+            digest.update(rel.encode() + b"\0")
+            try:
+                with open(os.path.join(root, rel), "rb") as fh:
+                    digest.update(hashlib.sha256(fh.read()).digest())
+            except OSError:
+                digest.update(b"<unreadable>")
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return digest.hexdigest()[:16] if dirty else ""
+
+
+def _describe_tree(root: str) -> Optional[str]:
+    """``git describe`` for ``root``, with dirty trees content-addressed.
+
+    A clean checkout yields ``git:<describe>``.  A checkout with any
+    divergence from HEAD (tracked edits *or* untracked files) yields
+    ``git:<describe>-dirty+<digest>`` with the digest from
+    :func:`_dirty_digest` — two different sets of uncommitted changes
+    can never share a cache namespace.  If the divergence cannot be
+    digested, a per-process unique token is used instead, making the
+    tree effectively uncacheable rather than ever serving stale hits.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"], cwd=root,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0 or not out.stdout.strip():
+        return None
+    described = out.stdout.strip()
+    if described.endswith("-dirty"):
+        described = described[:-len("-dirty")]
+    digest = _dirty_digest(root)
+    if digest == "":
+        return "git:" + described
+    if digest is None:
+        digest = "uncacheable-" + uuid.uuid4().hex[:12]
+    return "git:" + described + "-dirty+" + digest
+
+
 def cache_version(refresh: bool = False) -> str:
     """The version component of every cache key.
 
-    ``git describe --always --dirty`` when the tree is a git checkout
-    (so every commit — and every dirty tree — gets its own cache
-    namespace), falling back to the package version.  Memoised: one
-    subprocess per process, not per job.
+    ``git describe --always --dirty`` when the tree is a git checkout,
+    with dirty trees additionally content-addressed by a digest of their
+    uncommitted changes (see :func:`_describe_tree`) — so every commit
+    *and every distinct dirty state* gets its own cache namespace, and
+    editing simulator code uncommitted can never replay pre-edit cached
+    results.  Falls back to the package version outside a checkout.
+    Memoised: the subprocess calls run once per process, not per job.
     """
     global _version_cache
     if _version_cache is not None and not refresh:
         return _version_cache
     root = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))))
-    version: Optional[str] = None
-    try:
-        out = subprocess.run(
-            ["git", "describe", "--always", "--dirty"], cwd=root,
-            capture_output=True, text=True, timeout=10)
-        if out.returncode == 0 and out.stdout.strip():
-            version = "git:" + out.stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        version = None
+    version = _describe_tree(root)
     if version is None:
         from repro import __version__
         version = "pkg:" + __version__
@@ -113,10 +180,19 @@ def canonical_config_json(config: Any) -> str:
 
 
 def job_key(kind: str, config: Any, seed: int,
-            version: Optional[str] = None) -> str:
-    """The content address of one job: sha256 over version/kind/config/seed."""
+            version: Optional[str] = None,
+            env: Optional[Sequence[Tuple[str, Optional[str]]]] = None
+            ) -> str:
+    """The content address of one job.
+
+    sha256 over version/kind/config/seed plus the job's snapshot of the
+    semantic environment toggles (``JobSpec.env``): runs planned under
+    different toggle values can never share a cache entry, even if a
+    toggle that is result-identical today stops being so tomorrow.
+    """
     blob = "\n".join([version if version is not None else cache_version(),
-                      kind, canonical_config_json(config), str(int(seed))])
+                      kind, canonical_config_json(config), str(int(seed)),
+                      canonical_config_json(env) if env else ""])
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -147,6 +223,9 @@ class ResultCache:
         try:
             with open(path) as fh:
                 doc = json.load(fh)
+            if not isinstance(doc, dict):
+                raise ValueError(f"unexpected entry shape: JSON root is "
+                                 f"{type(doc).__name__}, not an object")
             if doc.get("schema") != CACHE_SCHEMA or "payload" not in doc:
                 raise ValueError(f"unexpected entry shape: "
                                  f"schema={doc.get('schema')!r}")
@@ -168,7 +247,9 @@ class ResultCache:
             return None
 
     def put(self, key: str, kind: str, config: Any, seed: int,
-            payload: dict) -> None:
+            payload: dict,
+            env: Optional[Sequence[Tuple[str, Optional[str]]]] = None
+            ) -> None:
         """Store ``payload`` atomically (tmp file + rename)."""
         path = self._path(key)
         doc = {
@@ -179,6 +260,8 @@ class ResultCache:
             "config": _jsonable(config),
             "payload": payload,
         }
+        if env:
+            doc["env"] = _jsonable(env)
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             tmp = path + f".tmp{os.getpid()}"

@@ -1,9 +1,11 @@
 """Deterministic process-pool execution of sweep jobs.
 
 :func:`run_jobs` takes a list of :class:`~repro.parallel.jobs.JobSpec`
-and executes them across ``min(jobs, os.cpu_count(), len(specs))``
-worker processes.  The contract that makes parallelism safe for the
-paper's tables:
+and executes them across ``min(jobs, len(specs))`` worker processes —
+an explicit ``-j N`` is honoured even beyond ``os.cpu_count()`` (worker
+count never affects results, and oversubscription lets small hosts
+exercise the pool); only ``-j 0``/negative resolves to the core count.
+The contract that makes parallelism safe for the paper's tables:
 
 * **Stable ordering** — outcomes are reassembled in submission order,
   so every report rendered from them is byte-identical at ``-j 1`` and
@@ -215,7 +217,9 @@ def run_jobs(specs: Sequence[JobSpec],
     """Execute ``specs`` and return their outcomes in submission order.
 
     ``jobs`` is resolved by :func:`resolve_jobs`; the worker count is
-    additionally capped at ``os.cpu_count()`` and ``len(specs)``.
+    additionally capped at the number of uncached specs (an explicit
+    ``jobs`` value beyond ``os.cpu_count()`` is honoured — see the
+    module docstring).
     ``cache`` is resolved by :func:`repro.parallel.cache.resolve_cache`.
     Failed jobs (exception or worker death) come back with
     ``result=None`` and the error recorded; the sweep itself never
@@ -264,7 +268,8 @@ def run_jobs(specs: Sequence[JobSpec],
                 if payload is not None:
                     store.put(keys[idx], specs[idx].kind, specs[idx].config,
                               specs[idx].seed,
-                              {"data": payload, "obs": out.record.obs})
+                              {"data": payload, "obs": out.record.obs},
+                              env=specs[idx].env)
 
     assert all(o is not None for o in outcomes)
     return outcomes  # type: ignore[return-value]

@@ -48,8 +48,14 @@ __all__ = [
     "snapshot_env",
 ]
 
-#: environment toggles that alter simulation semantics; snapshot these
-#: into every JobSpec so workers cannot inherit drifted values.
+#: environment toggles that alter which simulation code paths execute;
+#: snapshot these into every JobSpec so workers cannot inherit drifted
+#: values, and fold them into the cache key (via :meth:`JobSpec.key`)
+#: so runs planned under different toggles never share cache entries.
+#: (Today both toggles are result-identical by contract — FASTPATH is
+#: bit-exact, LINT does not change results — but keying on them means
+#: a cache hit, which skips execution and hence the worker-side env
+#: assertion, can still never cross toggle values.)
 SNAPSHOT_KEYS = ("REPRO_ENGINE_FASTPATH", "REPRO_LINT")
 
 
@@ -103,8 +109,15 @@ class JobSpec:
         default_factory=snapshot_env)
 
     def key(self, version: Optional[str] = None) -> str:
-        """Content address of this job (see :func:`cache.job_key`)."""
-        return job_key(self.kind, self.config, self.seed, version)
+        """Content address of this job (see :func:`cache.job_key`).
+
+        The env snapshot is part of the key: a cache hit bypasses
+        execution (and therefore the worker-side env assertion), so
+        specs planned under different toggle values must never resolve
+        to the same entry.
+        """
+        return job_key(self.kind, self.config, self.seed, version,
+                       env=self.env)
 
 
 @dataclass(frozen=True)

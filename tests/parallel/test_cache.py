@@ -57,6 +57,22 @@ class TestKeys:
         b = job_key("campaign", CountConfig(value=3), 0, version="v1")
         assert a != b
 
+    def test_key_changes_with_env_snapshot(self):
+        # A cache hit bypasses the worker-side env assertion, so specs
+        # planned under different toggles must never share an entry.
+        a = job_key("stream", CountConfig(value=3), 0, version="v1",
+                    env=(("REPRO_ENGINE_FASTPATH", None),))
+        b = job_key("stream", CountConfig(value=3), 0, version="v1",
+                    env=(("REPRO_ENGINE_FASTPATH", "0"),))
+        assert a != b
+
+    def test_spec_key_includes_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_FASTPATH", raising=False)
+        plain = JobSpec("_test_count", CountConfig(value=3))
+        monkeypatch.setenv("REPRO_ENGINE_FASTPATH", "0")
+        toggled = JobSpec("_test_count", CountConfig(value=3))
+        assert plain.key("v1") != toggled.key("v1")
+
     def test_canonical_json_sorts_and_normalises(self):
         assert canonical_config_json({"b": (1, 2), "a": 3}) \
             == '{"a":3,"b":[1,2]}'
@@ -88,6 +104,21 @@ class TestResultCache:
             assert store.get(key) is None
         import os
         assert not os.path.exists(path)  # dropped, next put rewrites
+
+    @pytest.mark.parametrize("root", ["null", "[]", '"x"', "3"])
+    def test_non_object_root_treated_as_corruption(self, tmp_path, root):
+        # Valid JSON whose root is not an object must be dropped like
+        # any other corruption, never escape as AttributeError.
+        store = ResultCache(str(tmp_path))
+        key = job_key("_test_count", CountConfig(), 0, version="v1")
+        path = store._path(key)
+        import os
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(root)
+        with pytest.warns(RuntimeWarning, match="corrupted sweep-cache"):
+            assert store.get(key) is None
+        assert not os.path.exists(path)
 
     def test_wrong_schema_treated_as_corruption(self, tmp_path):
         store = ResultCache(str(tmp_path))
@@ -169,6 +200,54 @@ class TestEngineCaching:
         assert not first[0].record.ok
         second = run_jobs([bad], jobs=1, cache=cache_dir)
         assert not second[0].record.cached   # failure was not stored
+
+
+class TestCacheVersion:
+    """Dirty trees must be content-addressed, never share one namespace."""
+
+    @pytest.fixture
+    def repo(self, tmp_path):
+        import shutil
+        import subprocess
+        if shutil.which("git") is None:
+            pytest.skip("git not available")
+
+        def git(*args):
+            subprocess.run(
+                ["git", "-c", "user.name=t", "-c", "user.email=t@t",
+                 *args],
+                cwd=tmp_path, capture_output=True, text=True, check=True)
+
+        git("init", "-q")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        git("add", "a.py")
+        git("commit", "-qm", "init")
+        return tmp_path
+
+    def test_clean_tree_is_plain_describe(self, repo):
+        from repro.parallel.cache import _describe_tree
+        version = _describe_tree(str(repo))
+        assert version is not None and version.startswith("git:")
+        assert "-dirty" not in version
+
+    def test_each_dirty_state_gets_its_own_version(self, repo):
+        from repro.parallel.cache import _describe_tree
+        clean = _describe_tree(str(repo))
+        (repo / "a.py").write_text("x = 2\n")
+        dirty_a = _describe_tree(str(repo))
+        (repo / "a.py").write_text("x = 3\n")
+        dirty_b = _describe_tree(str(repo))
+        assert "-dirty+" in dirty_a and "-dirty+" in dirty_b
+        assert len({clean, dirty_a, dirty_b}) == 3
+
+    def test_untracked_file_content_changes_version(self, repo):
+        from repro.parallel.cache import _describe_tree
+        clean = _describe_tree(str(repo))
+        (repo / "new_kind.py").write_text("y = 1\n")
+        with_new = _describe_tree(str(repo))
+        (repo / "new_kind.py").write_text("y = 2\n")
+        with_edit = _describe_tree(str(repo))
+        assert len({clean, with_new, with_edit}) == 3
 
 
 class TestResolution:
