@@ -1,8 +1,11 @@
-"""Small metric helpers shared by the experiment drivers."""
+"""Small metric helpers shared by the experiment and serving drivers."""
 
 from __future__ import annotations
 
-__all__ = ["gpt_per_s", "speedup", "ratio", "geomean_ratio"]
+from typing import Dict, Sequence
+
+__all__ = ["gpt_per_s", "speedup", "ratio", "geomean_ratio",
+           "percentile", "latency_summary"]
 
 
 def gpt_per_s(points: int, iterations: int, seconds: float) -> float:
@@ -36,3 +39,39 @@ def geomean_ratio(pairs: list[tuple[float, float]]) -> float:
     for measured, reference in pairs:
         acc *= ratio(measured, reference)
     return acc ** (1.0 / len(pairs))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    The serving layer's latency SLOs are simulated-time quantities that
+    must be byte-identical across runs, so the estimator is the exact
+    nearest-rank definition: the smallest value with at least ``p``
+    percent of the sample at or below it.  No float interpolation means
+    the reported p99 is always a latency that actually occurred.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0 < p <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {p!r}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def latency_summary(values: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99, mean and max of a latency sample (seconds).
+
+    Keys are stable (``p50``/``p95``/``p99``/``mean``/``max``/``n``) so
+    the serve report schema can embed the dict directly.
+    """
+    if not values:
+        return {"n": 0}
+    return {
+        "n": len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }

@@ -246,6 +246,44 @@ def _bench_stream_sweep(smoke: bool) -> Tuple[float, float,
     return wall, wall, inv
 
 
+def _bench_serve_smoke(smoke: bool) -> Tuple[float, float,
+                                             Dict[str, object]]:
+    """Serve-layer macro scenario: seeded load test with armed hangs.
+
+    One closed-loop load test with two seeded device hangs, including
+    the functional solve post-pass.  The invariants pin the *entire*
+    serve report byte-for-byte (its SHA-256) plus the headline numbers
+    — simulated duration, request count, tail latency — so any drift in
+    scheduling, batching, retry handling or the solve post-pass shows
+    up as a semantic change, not noise.
+    """
+    import hashlib
+
+    from repro.serve import LoadGenConfig, run_loadgen
+
+    n = 48 if smoke else 192
+    cfg = LoadGenConfig(mode="closed", seed=0, n_requests=n, n_clients=6)
+    t0 = time.perf_counter()
+    # jobs=1 / cache=False: the post-pass must not nest pools or touch
+    # the sweep cache inside a timed benchmark repetition.
+    report = run_loadgen(cfg, n_hangs=2, solve=True, jobs=1, cache=False)
+    wall = time.perf_counter() - t0
+    counters = report.metrics.counters
+    inv = {
+        "report_sha": hashlib.sha256(
+            report.to_json_text().encode()).hexdigest()[:16],
+        "sim_now": report.duration_s,
+        "requests": len(report.outcomes),
+        "completed": counters.get("completed", 0),
+        "degraded": counters.get("degraded", 0),
+        "shed": counters.get("shed", 0),
+        "hangs": counters.get("hangs", 0),
+        "batches_multi": counters.get("batches.multi", 0),
+        "p99_total_s": report.latencies()["total_s"].get("p99", 0.0),
+    }
+    return wall, wall, inv
+
+
 # --------------------------------------------------------------------------
 # runner
 # --------------------------------------------------------------------------
@@ -261,6 +299,7 @@ BENCHMARKS: Dict[str, Tuple[str, str, str, bool, Callable]] = {
     "jacobi_multicore": ("macro", "wall_s", "s", False,
                          _bench_jacobi_multicore),
     "stream_sweep": ("macro", "wall_s", "s", False, _bench_stream_sweep),
+    "serve_smoke": ("macro", "wall_s", "s", False, _bench_serve_smoke),
 }
 
 

@@ -11,6 +11,7 @@ Commands
 ``lint``     statically verify every shipped kernel and program
 ``bench``    run the perf benchmark suite, emit BENCH_<date>.json
 ``sweep``    run a streaming sweep through the parallel engine
+``serve``    multi-tenant solve service: seeded load test or trace replay
 
 Sweep-producing commands (``table``, ``sweep``, ``faults``, ``bench``)
 accept a global ``-j/--jobs N`` flag that fans their independent,
@@ -37,6 +38,9 @@ Examples::
     python -m repro lint
     python -m repro lint --list-rules
     python -m repro bench --smoke --check
+    python -m repro serve loadgen --seed 0 --requests 64 --hangs 2
+    python -m repro serve loadgen --seed 0 --record trace.jsonl
+    python -m repro serve replay trace.jsonl
 """
 
 from __future__ import annotations
@@ -188,6 +192,51 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--tolerance", type=float, default=0.20,
                     help="relative perf-regression tolerance for --check "
                          "(default 0.20; invariants always compare exact)")
+
+    sv = sub.add_parser(
+        "serve",
+        help="multi-tenant solve service: seeded load test or replay",
+        description="Drive the repro.serve solve service in simulated "
+                    "time: a seeded open- or closed-loop load test "
+                    "(loadgen) or a recorded request-trace replay "
+                    "(replay).  stdout and --out JSON are byte-identical "
+                    "across repeat runs and -j settings.")
+    svsub = sv.add_subparsers(dest="serve_command", required=True)
+    lg = svsub.add_parser("loadgen", parents=[par],
+                          help="run a seeded synthetic load test")
+    lg.add_argument("--mode", default="open", choices=["open", "closed"])
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--requests", type=int, default=64)
+    lg.add_argument("--rate", type=float, default=8000.0,
+                    help="open loop: Poisson arrival rate (requests/s)")
+    lg.add_argument("--clients", type=int, default=4,
+                    help="closed loop: concurrent tenants")
+    lg.add_argument("--think-s", type=float, default=2e-3,
+                    help="closed loop: mean think time (simulated s)")
+    lg.add_argument("--sizes", default="32,48,64,96,128",
+                    help="comma-separated grid extents to draw from")
+    lg.add_argument("--iterations", type=int, default=32)
+    lg.add_argument("--cpu-fraction", type=float, default=0.25)
+    lg.add_argument("--deadline-fraction", type=float, default=0.25)
+    lg.add_argument("--hangs", type=int, default=0,
+                    help="arm this many seeded device hangs")
+    lg.add_argument("--devices", type=int, default=2)
+    lg.add_argument("--cpu-workers", type=int, default=1)
+    lg.add_argument("--max-batch", type=int, default=4)
+    lg.add_argument("--queue-capacity", type=int, default=64)
+    lg.add_argument("--no-solve", action="store_true",
+                    help="skip the functional solve post-pass")
+    lg.add_argument("--out", default=None,
+                    help="write the JSON report (schema repro-serve/1)")
+    lg.add_argument("--record", default=None,
+                    help="record the request trace to this JSONL file")
+    rp = svsub.add_parser("replay", parents=[par],
+                          help="replay a recorded request trace")
+    rp.add_argument("trace", help="trace file written by loadgen --record")
+    rp.add_argument("--no-solve", action="store_true",
+                    help="skip the functional solve post-pass")
+    rp.add_argument("--out", default=None,
+                    help="write the JSON report (schema repro-serve/1)")
     return p
 
 
@@ -546,6 +595,54 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the solve service: loadgen or trace replay.
+
+    stdout carries only deterministic simulated-time content (the serve
+    report tables; the --out JSON likewise) so repeat runs and `-j N`
+    runs diff clean; cache statistics and file-path status lines go to
+    stderr.
+    """
+    from repro.serve import (LoadGenConfig, PoolConfig, SchedulerConfig,
+                             render_serve_report, replay_trace,
+                             run_loadgen, write_trace)
+
+    jobs, cache = _parallel_opts(args)
+    progress = lambda m: print(m, file=sys.stderr)  # noqa: E731
+    solve = not args.no_solve
+    if args.serve_command == "replay":
+        try:
+            report = replay_trace(args.trace, solve=solve, jobs=jobs,
+                                  cache=cache, progress=progress)
+        except (OSError, ValueError) as exc:
+            print(f"serve replay: {exc}", file=sys.stderr)
+            return 2
+    else:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+        cfg = LoadGenConfig(
+            mode=args.mode, seed=args.seed, n_requests=args.requests,
+            arrival_rate_rps=args.rate, n_clients=args.clients,
+            think_s=args.think_s, sizes=sizes,
+            iterations=args.iterations, cpu_fraction=args.cpu_fraction,
+            deadline_fraction=args.deadline_fraction)
+        report = run_loadgen(
+            cfg,
+            scheduler=SchedulerConfig(max_batch=args.max_batch,
+                                      queue_capacity=args.queue_capacity),
+            pool=PoolConfig(n_devices=args.devices,
+                            n_cpu_workers=args.cpu_workers),
+            n_hangs=args.hangs, solve=solve, jobs=jobs, cache=cache,
+            progress=progress)
+        if args.record:
+            write_trace(report, args.record)
+            print(f"trace written to {args.record}", file=sys.stderr)
+    print(render_serve_report(report))
+    if args.out:
+        report.write(args.out)
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     jobs = getattr(args, "jobs", None)
@@ -564,6 +661,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
     }[args.command]
     try:
         return handler(args)

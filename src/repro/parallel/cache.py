@@ -23,6 +23,12 @@ globally.  Setting ``REPRO_SWEEP_CACHE`` to a path both enables the
 cache and selects its directory (the default is
 ``$XDG_CACHE_HOME/repro/sweeps``, i.e. ``~/.cache/repro/sweeps``).
 
+The cache is bounded: ``REPRO_SWEEP_CACHE_MAX_MB`` caps the directory's
+total size (default 512 MiB; ``0`` or negative = unbounded).  Writes
+prune least-recently-*used* entries first — a cache hit refreshes its
+entry's mtime — so a long-lived cache converges on the entries current
+work actually replays instead of growing without bound across versions.
+
 A corrupted cache entry (truncated write, bad JSON, schema drift) is
 never fatal: the entry is dropped with a warning and the job recomputes.
 """
@@ -40,6 +46,7 @@ from typing import Any, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "CACHE_SCHEMA",
+    "DEFAULT_MAX_MB",
     "ResultCache",
     "cache_version",
     "canonical_config_json",
@@ -53,6 +60,32 @@ CACHE_SCHEMA = "repro-sweep-cache/1"
 
 #: ``REPRO_SWEEP_CACHE`` values that disable caching outright.
 _OFF_VALUES = ("0", "off", "false", "no")
+
+#: default size cap of a cache directory (``REPRO_SWEEP_CACHE_MAX_MB``).
+DEFAULT_MAX_MB = 512.0
+
+
+def _max_bytes_from_env() -> Optional[int]:
+    """The configured cache size cap in bytes (None = unbounded).
+
+    ``REPRO_SWEEP_CACHE_MAX_MB`` as a float number of MiB; zero or
+    negative disables the cap; unparseable values fall back to the
+    default with a warning rather than silently growing forever.
+    """
+    raw = os.environ.get("REPRO_SWEEP_CACHE_MAX_MB", "").strip()
+    if not raw:
+        return int(DEFAULT_MAX_MB * 1024 * 1024)
+    try:
+        mb = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"repro.parallel: REPRO_SWEEP_CACHE_MAX_MB={raw!r} is not a "
+            f"number; using the default {DEFAULT_MAX_MB:g} MiB",
+            RuntimeWarning, stacklevel=2)
+        return int(DEFAULT_MAX_MB * 1024 * 1024)
+    if mb <= 0:
+        return None
+    return int(mb * 1024 * 1024)
 
 _version_cache: Optional[str] = None
 
@@ -207,12 +240,22 @@ def default_cache_dir() -> str:
 
 
 class ResultCache:
-    """One cache directory of ``<key[:2]>/<key>.json`` entries."""
+    """One cache directory of ``<key[:2]>/<key>.json`` entries.
 
-    def __init__(self, root: Optional[str] = None):
+    The directory's total size is bounded (``max_bytes``, resolved from
+    ``REPRO_SWEEP_CACHE_MAX_MB`` by default): every write prunes
+    least-recently-used entries — hits refresh an entry's mtime — until
+    the cache fits the cap again.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 max_bytes: Optional[int] = None):
         self.root = root or default_cache_dir()
+        self.max_bytes = _max_bytes_from_env() if max_bytes is None \
+            else (max_bytes if max_bytes > 0 else None)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
@@ -230,6 +273,10 @@ class ResultCache:
                 raise ValueError(f"unexpected entry shape: "
                                  f"schema={doc.get('schema')!r}")
             self.hits += 1
+            try:
+                os.utime(path)  # LRU recency: a hit keeps the entry warm
+            except OSError:
+                pass
             return doc["payload"]
         except FileNotFoundError:
             self.misses += 1
@@ -272,6 +319,60 @@ class ResultCache:
             warnings.warn(
                 f"repro.parallel: could not write sweep-cache entry "
                 f"{path}: {exc}", RuntimeWarning, stacklevel=2)
+            return
+        self.prune()
+
+    def _entries(self) -> list:
+        """(mtime, size, path) of every entry; tolerates races/vanishing."""
+        found = []
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return found
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except (OSError, NotADirectoryError):
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue  # leave tmp files to their writers
+                path = os.path.join(shard_dir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue  # vanished under us (concurrent prune)
+                found.append((st.st_mtime, st.st_size, path))
+        return found
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-used entries until the cap fits.
+
+        Returns the number of entries removed.  Ties on mtime break by
+        path, so two pruners walking the same directory agree; a cache
+        that cannot be pruned (permissions, races) degrades to doing
+        nothing rather than failing the sweep.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return 0
+        entries = self._entries()
+        total = sum(size for _m, size, _p in entries)
+        if total <= cap:
+            return 0
+        removed = 0
+        for _mtime, size, path in sorted(entries):
+            if total <= cap:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self.evictions += 1
+        return removed
 
 
 def resolve_cache(cache: Union[None, bool, str, ResultCache]

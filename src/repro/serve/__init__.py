@@ -1,0 +1,68 @@
+"""repro.serve — the multi-tenant solve service.
+
+An event-driven, deterministic serving layer that multiplexes many
+:class:`SolveRequest` streams over a pool of simulated e150 devices and
+CPU workers: bounded priority queues with typed admission control
+(:class:`AdmissionError`), a batching scheduler that packs compatible
+small grids onto one multi-core launch, watchdog/retry/degrade handling
+of device hangs in the :mod:`repro.faults` vocabulary, and latency-SLO
+telemetry (p50/p95/p99) rendered by :func:`render_serve_report`.
+
+Everything runs in simulated time on :mod:`repro.sim.engine`; functional
+answers come from a :mod:`repro.parallel` post-pass.  Reports are
+byte-identical across repeat runs, ``-j`` settings, and record/replay.
+CLI: ``repro serve loadgen`` / ``repro serve replay``.
+"""
+
+from repro.serve.jobs import ServeSolveConfig, run_solve_postpass, solve_key
+from repro.serve.loadgen import (TRACE_SCHEMA, LoadGenConfig, load_trace,
+                                 replay_trace, run_loadgen,
+                                 synthesize_requests, write_trace)
+from repro.serve.pool import (CpuWorker, DeviceMember, PoolConfig,
+                              ServeHang, WorkerPool, best_case_service_s,
+                              cpu_service_time, device_service_time,
+                              generate_hangs, launch_overhead_s)
+from repro.serve.request import (BACKENDS, AdmissionError, RequestOutcome,
+                                 SolveRequest, iterations_for_tolerance)
+from repro.serve.scheduler import (BatchPlan, BoundedPriorityQueue,
+                                   SchedulerConfig, plan_batch)
+from repro.serve.service import SolveService
+from repro.serve.telemetry import (SERVE_SCHEMA, ServeMetrics, ServeReport,
+                                   render_serve_report)
+
+__all__ = [
+    "BACKENDS",
+    "SERVE_SCHEMA",
+    "TRACE_SCHEMA",
+    "AdmissionError",
+    "BatchPlan",
+    "BoundedPriorityQueue",
+    "CpuWorker",
+    "DeviceMember",
+    "LoadGenConfig",
+    "PoolConfig",
+    "RequestOutcome",
+    "SchedulerConfig",
+    "ServeHang",
+    "ServeMetrics",
+    "ServeReport",
+    "ServeSolveConfig",
+    "SolveRequest",
+    "SolveService",
+    "WorkerPool",
+    "best_case_service_s",
+    "cpu_service_time",
+    "device_service_time",
+    "generate_hangs",
+    "iterations_for_tolerance",
+    "launch_overhead_s",
+    "load_trace",
+    "plan_batch",
+    "render_serve_report",
+    "replay_trace",
+    "run_loadgen",
+    "run_solve_postpass",
+    "solve_key",
+    "synthesize_requests",
+    "write_trace",
+]

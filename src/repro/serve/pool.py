@@ -1,0 +1,237 @@
+"""The executor pool: simulated e150 members and CPU workers.
+
+Each :class:`DeviceMember` models one pooled Grayskull e150 — a 12×9
+worker-core grid reachable over PCIe — and each :class:`CpuWorker` one
+host CPU slot.  Service times are the calibrated analytic models the
+Table-VIII drivers use (:class:`~repro.perfmodel.scaling.JacobiScalingModel`
+for the device, :class:`~repro.perfmodel.cpumodel.XeonModel` for the
+CPU), plus a PCIe launch overhead per batch, so a pool member's busy
+interval is exactly the simulated time the one-shot runners would
+report for the same work.
+
+Faults reuse the :mod:`repro.faults` resilience vocabulary: a
+:class:`ServeHang` wedges the *n*-th launch on one member, the per-launch
+watchdog converts it into a
+:class:`~repro.ttmetal.host.DeviceHangError` carrying a per-core stall
+report, and the service retries the victims on another member (or
+degrades them to the CPU backend) — recorded on a
+:class:`~repro.analysis.resilience.FaultTrace`, never dropped.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+from repro.perfmodel.cpumodel import XeonModel
+from repro.perfmodel.scaling import JacobiScalingModel
+from repro.serve.request import SolveRequest
+from repro.ttmetal.host import CoreStall, DeviceHangError
+
+__all__ = [
+    "CpuWorker",
+    "DeviceMember",
+    "PoolConfig",
+    "ServeHang",
+    "WorkerPool",
+    "best_case_service_s",
+    "cpu_service_time",
+    "device_service_time",
+    "generate_hangs",
+    "launch_overhead_s",
+]
+
+_BF16 = 2  # bytes per element
+
+
+@dataclass(frozen=True)
+class ServeHang:
+    """The ``launch_index``-th launch on device ``device_id`` hangs."""
+
+    device_id: int
+    launch_index: int            #: 0-based per-device launch counter
+
+
+def generate_hangs(seed: int, n_hangs: int, n_devices: int,
+                   horizon_launches: int = 16) -> Tuple[ServeHang, ...]:
+    """Draw a deterministic hang plan from one integer seed.
+
+    Uses ``random.Random`` only — launch indices, never wall-clock — so
+    a load test with an armed hang plan replays bit-identically.
+    """
+    if n_devices < 1:
+        raise ValueError("need at least one device")
+    rng = random.Random(seed)
+    seen = set()
+    hangs: List[ServeHang] = []
+    while len(hangs) < n_hangs and len(seen) < n_devices * horizon_launches:
+        h = ServeHang(device_id=rng.randrange(n_devices),
+                      launch_index=rng.randrange(horizon_launches))
+        if (h.device_id, h.launch_index) in seen:
+            continue
+        seen.add((h.device_id, h.launch_index))
+        hangs.append(h)
+    return tuple(sorted(hangs, key=lambda h: (h.device_id, h.launch_index)))
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Shape and policy of the executor pool."""
+
+    n_devices: int = 2
+    n_cpu_workers: int = 1
+    cpu_threads: int = 24            #: threads per CPU worker slot
+    grid: Tuple[int, int] = (12, 9)  #: worker-core grid per device
+    watchdog_factor: float = 4.0     #: timeout = factor x expected service
+    max_retries: int = 1             #: device retries before CPU degrade
+    hang_cooldown_s: float = 5e-3    #: suspect device rest after a hang
+
+    def __post_init__(self):
+        if self.n_devices < 0 or self.n_cpu_workers < 0:
+            raise ValueError("pool sizes must be non-negative")
+        if self.n_devices == 0 and self.n_cpu_workers == 0:
+            raise ValueError("the pool needs at least one member")
+        if self.watchdog_factor <= 1.0:
+            raise ValueError("watchdog_factor must exceed 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+# --------------------------------------------------------------------------
+# deterministic service-time models
+# --------------------------------------------------------------------------
+
+def device_service_time(req: SolveRequest, cores_y: int, cores_x: int,
+                        costs: CostModel = DEFAULT_COSTS) -> float:
+    """Simulated solve time of ``req`` on a ``cores_y x cores_x`` slice.
+
+    The same analytic model the Table-VIII rows use, so a request served
+    on the full grid costs exactly what ``repro solve --backend
+    e150-model`` would report.
+    """
+    model = JacobiScalingModel(costs)
+    return model.run(req.nx, req.ny, req.effective_iterations,
+                     cores_y, cores_x).solve_time_s
+
+
+def cpu_service_time(req: SolveRequest, threads: int) -> float:
+    """Simulated solve time of ``req`` on a CPU worker slot."""
+    return XeonModel().solve_time_s(req.points, req.effective_iterations,
+                                    threads)
+
+
+def launch_overhead_s(requests: Sequence[SolveRequest],
+                      costs: CostModel = DEFAULT_COSTS) -> float:
+    """PCIe cost of moving a batch's grids to the device and back."""
+    total = sum((r.nx + 2) * (r.ny + 2) * _BF16 for r in requests)
+    return 2 * (costs.pcie_latency + total / costs.pcie_bw)
+
+
+def best_case_service_s(req: SolveRequest, cfg: PoolConfig,
+                        costs: CostModel = DEFAULT_COSTS) -> float:
+    """Lower bound on ``req``'s service time: a whole pool member to itself.
+
+    This is the figure admission control compares deadlines against, and
+    the load generator scales synthetic deadlines from — a pure function
+    of the request and the pool shape, so both replay deterministically.
+    """
+    if req.backend == "cpu":
+        return cpu_service_time(req, cfg.cpu_threads)
+    gy, gx = cfg.grid
+    cy = max(1, min(gy, req.ny))
+    cx = max(1, min(gx, req.nx))
+    return launch_overhead_s([req], costs) \
+        + device_service_time(req, cy, cx, costs)
+
+
+# --------------------------------------------------------------------------
+# pool members
+# --------------------------------------------------------------------------
+
+class _Member:
+    """Busy-state and utilization bookkeeping shared by both member kinds."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.busy = False
+        self.busy_s = 0.0            #: accumulated service time
+        self.launches = 0
+        self.cooldown_until = 0.0    #: unavailable (suspect) before this
+
+    def available(self, now: float) -> bool:
+        return not self.busy and now >= self.cooldown_until
+
+    def utilization(self, horizon_s: float) -> float:
+        if horizon_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / horizon_s)
+
+
+class DeviceMember(_Member):
+    """One pooled e150: a core grid plus a hang plan."""
+
+    def __init__(self, device_id: int, grid: Tuple[int, int],
+                 hangs: Sequence[ServeHang] = ()):
+        super().__init__(f"e150-{device_id}")
+        self.device_id = device_id
+        self.grid = grid
+        self._hang_at = {h.launch_index for h in hangs
+                         if h.device_id == device_id}
+
+    @property
+    def n_cores(self) -> int:
+        return self.grid[0] * self.grid[1]
+
+    def next_launch_hangs(self) -> bool:
+        """Whether the launch about to start is wedged by the fault plan."""
+        return self.launches in self._hang_at
+
+    def hang_error(self, t: float, timeout_s: float) -> DeviceHangError:
+        """The watchdog report for a wedged launch, in the host vocabulary."""
+        stall = CoreStall(core=(0, 0), slot="compute",
+                          kernel=f"serve.launch{self.launches}@{self.name}",
+                          waiting_on="cb.wait_front", since_s=t)
+        return DeviceHangError([stall], t=t + timeout_s, timeout_s=timeout_s)
+
+
+class CpuWorker(_Member):
+    """One host CPU slot (``threads`` OpenMP threads)."""
+
+    def __init__(self, worker_id: int, threads: int):
+        super().__init__(f"cpu-{worker_id}")
+        self.worker_id = worker_id
+        self.threads = threads
+
+
+class WorkerPool:
+    """All pool members, with deterministic selection order."""
+
+    def __init__(self, cfg: PoolConfig, hangs: Sequence[ServeHang] = ()):
+        self.cfg = cfg
+        self.devices = [DeviceMember(i, cfg.grid, hangs)
+                        for i in range(cfg.n_devices)]
+        self.cpus = [CpuWorker(i, cfg.cpu_threads)
+                     for i in range(cfg.n_cpu_workers)]
+
+    def free_device(self, now: float) -> Optional[DeviceMember]:
+        """Lowest-id available device — deterministic tie-breaking."""
+        for dev in self.devices:
+            if dev.available(now):
+                return dev
+        return None
+
+    def free_cpu(self, now: float) -> Optional[CpuWorker]:
+        for cpu in self.cpus:
+            if cpu.available(now):
+                return cpu
+        return None
+
+    @property
+    def members(self) -> List[_Member]:
+        return [*self.devices, *self.cpus]
+
+    def utilization(self, horizon_s: float) -> Dict[str, float]:
+        """Per-member busy fraction over ``horizon_s`` simulated seconds."""
+        return {m.name: m.utilization(horizon_s) for m in self.members}

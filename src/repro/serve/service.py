@@ -1,0 +1,347 @@
+"""The multi-tenant solve service: an event-driven loop on ``sim.engine``.
+
+:class:`SolveService` multiplexes :class:`~repro.serve.request.SolveRequest`
+streams over a :class:`~repro.serve.pool.WorkerPool`.  Everything —
+arrivals, queueing, batching, launches, hangs, retries — happens in
+*simulated* time on one :class:`~repro.sim.engine.Simulator`, so a full
+load test is a deterministic discrete-event simulation: byte-identical
+across repeat runs and across ``-j`` settings (worker processes are only
+used by the functional post-pass, which reassembles in submission order).
+
+Life of a request::
+
+    submit() ── admission control ──> bounded priority queue
+        │  (queue_full / deadline_unmeetable -> AdmissionError + shed
+        │   outcome; nothing is silently dropped)
+        └─> dispatcher (a sim process) packs compatible small grids into
+            one multi-core launch (scheduler.plan_batch / split_domain),
+            or hands CPU-backend requests to a CPU worker
+               └─> launch occupies the pool member for the modelled
+                   service time; requests complete as their core slices
+                   finish
+                      └─> a hang (ServeHang plan) trips the per-launch
+                          watchdog instead: DeviceHangError, victims are
+                          re-queued at the head of their class (retry on
+                          another member) or degraded to the CPU backend
+                          after ``max_retries`` — each step recorded on
+                          the FaultTrace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+from repro.serve.pool import (CpuWorker, DeviceMember, PoolConfig, ServeHang,
+                              WorkerPool, best_case_service_s,
+                              cpu_service_time, device_service_time,
+                              launch_overhead_s)
+from repro.serve.request import (AdmissionError, RequestOutcome,
+                                 SolveRequest)
+from repro.serve.scheduler import (BatchPlan, BoundedPriorityQueue,
+                                   SchedulerConfig, plan_batch)
+from repro.serve.telemetry import ServeMetrics
+from repro.sim import Event, Simulator
+
+__all__ = ["SolveService"]
+
+
+class _RequestState:
+    """Mutable per-request bookkeeping keyed by rid.
+
+    ``request`` is the *original* submission — a degrade swaps the queued
+    copy's backend, but outcomes (and recorded traces) always carry the
+    request as the tenant wrote it, so a replay resubmits it verbatim.
+    """
+
+    __slots__ = ("request", "submit_s", "deadline_abs", "retries",
+                 "degraded", "done")
+
+    def __init__(self, request: SolveRequest, submit_s: float,
+                 deadline_abs: Optional[float], done: Event):
+        self.request = request
+        self.submit_s = submit_s
+        self.deadline_abs = deadline_abs
+        self.retries = 0
+        self.degraded = False
+        self.done = done
+
+
+class SolveService:
+    """Admission control + batching scheduler + device-pool executor."""
+
+    def __init__(self, sim: Simulator,
+                 scheduler: Optional[SchedulerConfig] = None,
+                 pool: Optional[PoolConfig] = None,
+                 hangs: Sequence[ServeHang] = (),
+                 costs: CostModel = DEFAULT_COSTS):
+        self.sim = sim
+        self.scheduler_cfg = scheduler or SchedulerConfig()
+        self.pool_cfg = pool or PoolConfig()
+        self.costs = costs
+        self.queue = BoundedPriorityQueue(self.scheduler_cfg)
+        self.pool = WorkerPool(self.pool_cfg, hangs)
+        self.metrics = ServeMetrics()
+        self.outcomes: List[RequestOutcome] = []
+        self._states: Dict[int, _RequestState] = {}
+        self._batch_seq = 0
+        self._kick = sim.event("serve.kick")
+        sim.process(self._dispatch_loop(), name="serve.dispatcher")
+
+    # -- admission ---------------------------------------------------------
+    def best_case_service_s(self, req: SolveRequest) -> float:
+        """Lower bound on service time: the whole pool member to itself."""
+        return best_case_service_s(req, self.pool_cfg, self.costs)
+
+    def submit(self, req: SolveRequest) -> Event:
+        """Admit ``req`` (or shed it with a typed :class:`AdmissionError`).
+
+        Returns an :class:`~repro.sim.engine.Event` that succeeds with the
+        request's :class:`RequestOutcome` when it completes.  A rejected
+        request raises — and is *also* recorded as a shed outcome, so the
+        report never loses it.
+        """
+        now = self.sim.now
+        if req.rid in self._states:
+            raise AdmissionError("invalid", f"duplicate rid {req.rid}")
+        if req.backend == "device" and not self.pool.devices:
+            raise AdmissionError("invalid", "pool has no devices")
+        if req.backend == "cpu" and not self.pool.cpus:
+            raise AdmissionError("invalid", "pool has no CPU workers")
+        if req.deadline_s is not None:
+            best = self.best_case_service_s(req)
+            if best > req.deadline_s:
+                self._record_shed(req, now, "deadline_unmeetable")
+                raise AdmissionError(
+                    "deadline_unmeetable",
+                    f"best-case service {best:.6g}s exceeds deadline "
+                    f"{req.deadline_s:.6g}s")
+        try:
+            self.queue.push(req)
+        except AdmissionError as exc:
+            self._record_shed(req, now, exc.reason)
+            raise
+        deadline_abs = None if req.deadline_s is None \
+            else now + req.deadline_s
+        done = self.sim.event(f"serve.done.{req.rid}")
+        self._states[req.rid] = _RequestState(req, now, deadline_abs, done)
+        self.metrics.bump("submitted")
+        self.metrics.sample_depth(now, len(self.queue))
+        self._wake()
+        return done
+
+    def _record_shed(self, req: SolveRequest, now: float,
+                     reason: str) -> None:
+        self.metrics.bump("shed")
+        self.metrics.bump(f"shed.{reason}")
+        self.metrics.trace.record(now, "serve.admission", f"req{req.rid}",
+                                  "shed", reason)
+        self.outcomes.append(RequestOutcome(
+            request=req, status="shed", backend_used=None, worker=None,
+            cores=None, batch_id=None, batch_size=0, submit_s=now,
+            start_s=None, finish_s=None, retries=0, shed_reason=reason))
+
+    # -- dispatch ----------------------------------------------------------
+    def _wake(self) -> None:
+        if not self._kick.triggered:
+            self._kick.succeed()
+
+    def _wake_at(self, when: float) -> None:
+        """Schedule a dispatcher wake-up at absolute time ``when``."""
+        self.sim.timeout_at(when).add_callback(lambda _e: self._wake())
+
+    def _dispatch_loop(self):
+        while True:
+            while self._try_dispatch():
+                pass
+            yield self._kick
+            self._kick = self.sim.event("serve.kick")
+
+    def _try_dispatch(self) -> bool:
+        """Start at most one launch; True if anything was dispatched."""
+        now = self.sim.now
+        if not len(self.queue):
+            return False
+        self._shed_expired(now)
+        cpu = self.pool.free_cpu(now)
+        if cpu is not None:
+            picked = self.queue.pop_where(
+                lambda r: r.backend == "cpu", limit=1)
+            if picked:
+                self._launch_cpu(cpu, picked[0])
+                return True
+        dev = self.pool.free_device(now)
+        if dev is not None:
+            plan = self._form_device_batch(dev)
+            if plan is not None:
+                self._launch_device(dev, plan)
+                return True
+        return False
+
+    def _shed_expired(self, now: float) -> None:
+        """Drop queued requests whose absolute deadline already passed."""
+        expired = self.queue.pop_where(
+            lambda r: (self._states[r.rid].deadline_abs is not None
+                       and self._states[r.rid].deadline_abs < now),
+            limit=self.scheduler_cfg.queue_capacity
+            * self.scheduler_cfg.n_priorities)
+        for req in expired:
+            state = self._states.pop(req.rid)
+            self.metrics.bump("shed")
+            self.metrics.bump("shed.deadline_expired")
+            self.metrics.trace.record(now, "serve.deadline",
+                                      f"req{req.rid}", "shed", "expired")
+            outcome = RequestOutcome(
+                request=state.request, status="shed", backend_used=None,
+                worker=None, cores=None, batch_id=None, batch_size=0,
+                submit_s=state.submit_s, start_s=None, finish_s=None,
+                retries=state.retries, shed_reason="deadline_expired")
+            self.outcomes.append(outcome)
+            state.done.fail(AdmissionError("deadline_expired",
+                                           f"req{req.rid}"))
+
+    def _form_device_batch(self, dev: DeviceMember) -> Optional[BatchPlan]:
+        head = self.queue.pop_where(
+            lambda r: r.backend == "device", limit=1)
+        if not head:
+            return None
+        first = head[0]
+        limit = self.scheduler_cfg.batch_point_limit
+        batch = [first]
+        if first.points <= limit:
+            room = min(self.scheduler_cfg.max_batch, dev.grid[0]) - 1
+            if room > 0:
+                batch += self.queue.pop_where(
+                    lambda r: (r.backend == "device"
+                               and r.points <= limit), limit=room)
+        return plan_batch(batch, dev.grid)
+
+    # -- launches ----------------------------------------------------------
+    def _launch_cpu(self, cpu: CpuWorker, req: SolveRequest) -> None:
+        cpu.busy = True
+        self.metrics.bump("launches.cpu")
+        self.metrics.sample_depth(self.sim.now, len(self.queue))
+        self.sim.process(self._run_cpu(cpu, req),
+                         name=f"serve.{cpu.name}.req{req.rid}")
+
+    def _run_cpu(self, cpu: CpuWorker, req: SolveRequest):
+        t0 = self.sim.now
+        service = cpu_service_time(req, cpu.threads)
+        yield self.sim.timeout(service)
+        cpu.busy_s += service
+        cpu.launches += 1
+        cpu.busy = False
+        self._complete(req, worker=cpu.name, backend_used="cpu",
+                       cores=None, batch_id=None, batch_size=1, start_s=t0)
+        self._wake()
+
+    def _launch_device(self, dev: DeviceMember, plan: BatchPlan) -> None:
+        batch_id = self._batch_seq
+        self._batch_seq += 1
+        dev.busy = True
+        self.metrics.bump("launches.device")
+        if len(plan) >= 2:
+            self.metrics.bump("batches.multi")
+            self.metrics.bump("batched_requests", by=len(plan))
+        self.metrics.sample_depth(self.sim.now, len(self.queue))
+        self.sim.process(self._run_device(dev, plan, batch_id),
+                         name=f"serve.{dev.name}.batch{batch_id}")
+
+    def _run_device(self, dev: DeviceMember, plan: BatchPlan,
+                    batch_id: int):
+        t0 = self.sim.now
+        overhead = launch_overhead_s(plan.requests, self.costs)
+        times = [overhead + device_service_time(req, cy, cx, self.costs)
+                 for req, (cy, cx) in zip(plan.requests, plan.allocations)]
+        expected = max(times)
+        hang = dev.next_launch_hangs()
+        launch_index = dev.launches
+        dev.launches += 1
+
+        if hang:
+            timeout_s = self.pool_cfg.watchdog_factor * expected
+            yield self.sim.timeout(timeout_s)
+            err = dev.hang_error(t0, timeout_s)
+            dev.busy_s += timeout_s
+            dev.busy = False
+            dev.cooldown_until = self.sim.now + self.pool_cfg.hang_cooldown_s
+            self._wake_at(dev.cooldown_until)
+            self.metrics.bump("hangs")
+            self.metrics.trace.record(
+                self.sim.now, "serve.hang",
+                f"{dev.name}.launch{launch_index}", "detected",
+                f"watchdog@{timeout_s:.6g}s.{len(err.stalls)}stall(s)")
+            for req in plan.requests:
+                self._retry_or_degrade(req, dev)
+            self._wake()
+            return
+
+        # Requests complete as their core slices finish (staggered); the
+        # member frees when the slowest slice does.
+        order = sorted(range(len(plan)), key=lambda i: (times[i], i))
+        elapsed = 0.0
+        for i in order:
+            if times[i] > elapsed:
+                yield self.sim.timeout(times[i] - elapsed)
+                elapsed = times[i]
+            req = plan.requests[i]
+            self._complete(req, worker=dev.name, backend_used="device",
+                           cores=plan.allocations[i], batch_id=batch_id,
+                           batch_size=len(plan), start_s=t0)
+        if expected > elapsed:
+            yield self.sim.timeout(expected - elapsed)
+        dev.busy_s += expected
+        dev.busy = False
+        self._wake()
+
+    def _retry_or_degrade(self, req: SolveRequest,
+                          dev: DeviceMember) -> None:
+        state = self._states[req.rid]
+        state.retries += 1
+        where = f"req{req.rid}@{dev.name}"
+        if state.retries <= self.pool_cfg.max_retries:
+            self.metrics.bump("retries")
+            self.metrics.trace.record(self.sim.now, "serve.hang", where,
+                                      "retried",
+                                      f"attempt{state.retries}")
+            self.queue.push_front(req)
+        elif self.pool.cpus:
+            # Counted once, at completion, via the "degraded" status.
+            state.degraded = True
+            self.metrics.trace.record(self.sim.now, "serve.hang", where,
+                                      "degraded", "to-cpu")
+            self.queue.push_front(req.degraded())
+        else:
+            # No CPU fallback configured: report the loss loudly.
+            self.metrics.bump("shed")
+            self.metrics.bump("shed.retries_exhausted")
+            self.metrics.trace.record(self.sim.now, "serve.hang", where,
+                                      "shed", "retries_exhausted")
+            outcome = RequestOutcome(
+                request=state.request, status="shed", backend_used=None,
+                worker=None, cores=None, batch_id=None, batch_size=0,
+                submit_s=state.submit_s, start_s=None, finish_s=None,
+                retries=state.retries, shed_reason="retries_exhausted")
+            self.outcomes.append(outcome)
+            self._states.pop(req.rid)
+            state.done.fail(AdmissionError("retries_exhausted",
+                                           f"req{req.rid}"))
+
+    def _complete(self, req: SolveRequest, worker: str, backend_used: str,
+                  cores, batch_id, batch_size: int, start_s: float) -> None:
+        state = self._states.pop(req.rid)
+        status = "degraded" if state.degraded else "completed"
+        self.metrics.bump(status)
+        outcome = RequestOutcome(
+            request=state.request, status=status, backend_used=backend_used,
+            worker=worker, cores=cores, batch_id=batch_id,
+            batch_size=batch_size, submit_s=state.submit_s,
+            start_s=start_s, finish_s=self.sim.now, retries=state.retries)
+        self.outcomes.append(outcome)
+        self.metrics.sample_depth(self.sim.now, len(self.queue))
+        state.done.succeed(outcome)
+
+    # -- reporting ---------------------------------------------------------
+    def utilization(self, horizon_s: Optional[float] = None):
+        horizon = self.sim.now if horizon_s is None else horizon_s
+        return self.pool.utilization(horizon)

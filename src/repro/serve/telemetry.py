@@ -1,0 +1,201 @@
+"""Serving telemetry: queue depth, latency histograms, utilization.
+
+Everything recorded here is a *simulated-time* quantity — queue depths
+sampled at scheduler events, wait/service/total latencies of completed
+requests, per-member busy fractions, shed/retry/degrade counters — so a
+:class:`ServeReport` is deterministic end to end: the JSON export
+(:meth:`ServeReport.to_json`) is byte-identical across repeat runs and
+across ``-j`` settings, which is what the CI serve-smoke job diffs.
+
+Percentiles come from :func:`repro.analysis.metrics.latency_summary`
+(nearest-rank — a reported p99 is a latency that actually occurred), and
+fault-plane activity (hangs, retries, degrades) lives on the standard
+:class:`~repro.analysis.resilience.FaultTrace` so the resilience tooling
+renders serve incidents the same way it renders campaign injections.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import latency_summary
+from repro.analysis.report import Table
+from repro.analysis.resilience import FaultTrace
+from repro.serve.request import RequestOutcome
+
+__all__ = ["SERVE_SCHEMA", "ServeMetrics", "ServeReport",
+           "render_serve_report"]
+
+#: schema tag of the JSON report; bump on incompatible layout changes.
+SERVE_SCHEMA = "repro-serve/1"
+
+
+@dataclass
+class ServeMetrics:
+    """Mutable collector the service writes into while it runs."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    depth_samples: List[Tuple[float, int]] = field(default_factory=list)
+    trace: FaultTrace = field(default_factory=FaultTrace)
+
+    def bump(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def sample_depth(self, t: float, depth: int) -> None:
+        self.depth_samples.append((t, depth))
+
+    @property
+    def max_depth(self) -> int:
+        return max((d for _t, d in self.depth_samples), default=0)
+
+    def mean_depth(self) -> float:
+        """Time-weighted mean queue depth over the sampled horizon."""
+        if len(self.depth_samples) < 2:
+            return float(self.depth_samples[0][1]) if self.depth_samples \
+                else 0.0
+        area = 0.0
+        for (t0, d0), (t1, _d1) in zip(self.depth_samples,
+                                       self.depth_samples[1:]):
+            area += d0 * (t1 - t0)
+        span = self.depth_samples[-1][0] - self.depth_samples[0][0]
+        return area / span if span > 0 else float(self.depth_samples[0][1])
+
+
+@dataclass
+class ServeReport:
+    """Deterministic outcome of one load test."""
+
+    config: Dict[str, object]            #: loadgen + service configuration
+    duration_s: float                    #: simulated end-to-end span
+    outcomes: List[RequestOutcome]
+    metrics: ServeMetrics
+    utilization: Dict[str, float]        #: member name -> busy fraction
+    solves: Dict[str, dict] = field(default_factory=dict)
+    #: ``solves`` maps a solve key (unique problem/backend config) to its
+    #: functional result (grid_sha, residual, interior range) computed
+    #: through the repro.parallel post-pass.
+
+    # -- derived views -----------------------------------------------------
+    def completed(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.status != "shed"]
+
+    def shed(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.status == "shed"]
+
+    def latencies(self) -> Dict[str, Dict[str, float]]:
+        done = self.completed()
+        return {
+            "wait_s": latency_summary([o.wait_s for o in done]),
+            "service_s": latency_summary([o.service_s for o in done]),
+            "total_s": latency_summary([o.total_s for o in done]),
+        }
+
+    def slo(self) -> Dict[str, int]:
+        """Deadline accounting over requests that declared one."""
+        met = missed = 0
+        for o in self.completed():
+            if o.deadline_met is True:
+                met += 1
+            elif o.deadline_met is False:
+                missed += 1
+        return {"deadline_met": met, "deadline_missed": missed}
+
+    def throughput_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return len(self.completed()) / self.duration_s
+
+    # -- export ------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The schema-stable document the bench comparator can diff.
+
+        Simulated-time quantities only — no wall-clock, no host facts —
+        so the serialised bytes are a determinism invariant.
+        """
+        counters = dict(sorted(self.metrics.counters.items()))
+        return {
+            "schema": SERVE_SCHEMA,
+            "config": self.config,
+            "duration_s": self.duration_s,
+            "requests": {
+                "submitted": len(self.outcomes),
+                "completed": len(self.completed()),
+                "shed": len(self.shed()),
+            },
+            "throughput_rps": self.throughput_rps(),
+            "latency": self.latencies(),
+            "slo": self.slo(),
+            "queue": {
+                "max_depth": self.metrics.max_depth,
+                "mean_depth": self.metrics.mean_depth(),
+            },
+            "counters": counters,
+            "utilization": dict(sorted(self.utilization.items())),
+            "fault_trace": self.metrics.trace.to_text().splitlines(),
+            "solves": {k: self.solves[k] for k in sorted(self.solves)},
+            "outcomes": [_outcome_row(o) for o in self.outcomes],
+        }
+
+    def to_json_text(self) -> str:
+        """Canonical byte-stable rendering (sorted keys, fixed format)."""
+        return json.dumps(self.to_json(), sort_keys=True, indent=1) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json_text())
+
+
+def _outcome_row(o: RequestOutcome) -> dict:
+    return {
+        "rid": o.request.rid,
+        "status": o.status,
+        "backend": o.request.backend,
+        "backend_used": o.backend_used,
+        "worker": o.worker,
+        "cores": list(o.cores) if o.cores else None,
+        "batch_id": o.batch_id,
+        "batch_size": o.batch_size,
+        "submit_s": o.submit_s,
+        "start_s": o.start_s,
+        "finish_s": o.finish_s,
+        "retries": o.retries,
+        "shed_reason": o.shed_reason,
+        "deadline_met": o.deadline_met,
+        "solve_key": o.solve_key,
+    }
+
+
+def render_serve_report(report: ServeReport) -> str:
+    """Human-readable rendering: latency table, counters, utilization."""
+    lat = report.latencies()
+    table = Table(
+        f"serve load test: {len(report.outcomes)} request(s) over "
+        f"{report.duration_s:.6g}s simulated "
+        f"({report.throughput_rps():.6g} req/s)",
+        ["latency", "n", "p50 s", "p95 s", "p99 s", "mean s", "max s"])
+    for name in ("wait_s", "service_s", "total_s"):
+        s = lat[name]
+        if s.get("n", 0) == 0:
+            table.add_row(name, 0, "-", "-", "-", "-", "-")
+            continue
+        table.add_row(name, s["n"], f"{s['p50']:.6g}", f"{s['p95']:.6g}",
+                      f"{s['p99']:.6g}", f"{s['mean']:.6g}",
+                      f"{s['max']:.6g}")
+    slo = report.slo()
+    counters = Table("counters", ["counter", "value"])
+    for key, value in sorted(report.metrics.counters.items()):
+        counters.add_row(key, value)
+    counters.add_row("queue.max_depth", report.metrics.max_depth)
+    counters.add_row("queue.mean_depth", f"{report.metrics.mean_depth():.4g}")
+    counters.add_row("slo.deadline_met", slo["deadline_met"])
+    counters.add_row("slo.deadline_missed", slo["deadline_missed"])
+    util = Table("pool utilization", ["member", "busy fraction"])
+    for name, frac in sorted(report.utilization.items()):
+        util.add_row(name, f"{frac:.4f}")
+    parts = [table.render(), "", counters.render(), "", util.render()]
+    if report.metrics.trace.events:
+        parts += ["", "resilience events:",
+                  report.metrics.trace.to_text().rstrip()]
+    return "\n".join(parts)

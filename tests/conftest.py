@@ -20,6 +20,7 @@ def _isolated_sweep_cache(monkeypatch, tmp_path):
     """
     monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg-cache"))
     monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_CACHE_MAX_MB", raising=False)
     monkeypatch.delenv("REPRO_JOBS", raising=False)
 
 

@@ -8,6 +8,7 @@ from repro.core.decomposition import (
     RowBatches,
     SubDomain,
     TileBatches,
+    remap_failed,
     split_domain,
     split_extent,
 )
@@ -108,6 +109,73 @@ class TestSplits:
         assert isinstance(s, SubDomain)
         assert (s.y0, s.x0) == (5, 5)
         assert (s.ny, s.nx) == (5, 5)
+
+
+class TestSplitEdgeCases:
+    """Degenerate shapes the serve batcher can produce."""
+
+    def test_more_parts_than_rows_rejected(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            split_domain(nx=64, ny=3, cores_y=4, cores_x=1)
+
+    def test_more_parts_than_cols_rejected(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            split_domain(nx=3, ny=64, cores_y=1, cores_x=4)
+
+    def test_split_extent_one_element_each(self):
+        assert split_extent(4, 4) == [(0, 1), (1, 1), (2, 1), (3, 1)]
+
+    def test_1xn_domain_row_split(self):
+        """A 1-row domain can still be split along x."""
+        grid = split_domain(nx=12, ny=1, cores_y=1, cores_x=3)
+        assert len(grid) == 1 and len(grid[0]) == 3
+        assert all(s.ny == 1 for s in grid[0])
+        assert [s.nx for s in grid[0]] == [4, 4, 4]
+        assert [s.x0 for s in grid[0]] == [0, 4, 8]
+
+    def test_nx1_domain_column_split(self):
+        grid = split_domain(nx=1, ny=7, cores_y=3, cores_x=1)
+        assert [row[0].ny for row in grid] == [3, 2, 2]
+        assert all(row[0].nx == 1 for row in grid)
+
+    def test_1xn_rejects_any_row_split(self):
+        with pytest.raises(ValueError):
+            split_domain(nx=12, ny=1, cores_y=2, cores_x=1)
+
+
+class TestRemapFailedBoundary:
+    """remap_failed with failures on the core-grid boundary."""
+
+    def test_corner_failure_goes_to_edge_neighbour(self):
+        grid = split_domain(nx=96, ny=96, cores_y=3, cores_x=3)
+        assignment = remap_failed(grid, {(0, 0)})
+        # Ties on load break by Manhattan distance then coordinate: the
+        # corner's nearest survivors are (0,1) and (1,0), both at
+        # distance 1; (0,1) wins on coordinate order.
+        assert assignment == {(0, 0): (0, 1)}
+
+    def test_whole_boundary_row_failure(self):
+        grid = split_domain(nx=96, ny=96, cores_y=3, cores_x=3)
+        assignment = remap_failed(grid, {(2, 0), (2, 1), (2, 2)})
+        survivors = {(iy, ix) for iy in range(2) for ix in range(3)}
+        assert set(assignment) == {(2, 0), (2, 1), (2, 2)}
+        assert set(assignment.values()) <= survivors
+        # Least-loaded spreading: three failures land on three distinct
+        # survivors rather than piling onto one.
+        assert len(set(assignment.values())) == 3
+
+    def test_boundary_failure_on_1xn_grid(self):
+        """On a 1×N core row, a failed end core remaps along the row."""
+        grid = split_domain(nx=64, ny=8, cores_y=1, cores_x=4)
+        assignment = remap_failed(grid, {(0, 3)})
+        assert assignment == {(0, 3): (0, 2)}
+
+    def test_opposite_corners_deterministic(self):
+        grid = split_domain(nx=64, ny=64, cores_y=2, cores_x=2)
+        a = remap_failed(grid, {(0, 0), (1, 1)})
+        b = remap_failed(grid, {(1, 1), (0, 0)})
+        assert a == b
+        assert set(a.values()) == {(0, 1), (1, 0)}
 
 
 @settings(max_examples=50, deadline=None)

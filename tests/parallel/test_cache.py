@@ -202,6 +202,96 @@ class TestEngineCaching:
         assert not second[0].record.cached   # failure was not stored
 
 
+class TestSizeCap:
+    """The LRU size cap (REPRO_SWEEP_CACHE_MAX_MB): prune on write."""
+
+    def _put(self, store, value, mtime=None):
+        import os
+        cfg = CountConfig(value=value)
+        key = job_key("_test_count", cfg, 0, version="v1")
+        store.put(key, "_test_count", cfg, 0, {"data": {"double": value}})
+        path = store._path(key)
+        if mtime is not None and os.path.exists(path):
+            os.utime(path, (mtime, mtime))
+        return key
+
+    def test_unbounded_by_default_argument(self, tmp_path):
+        store = ResultCache(str(tmp_path), max_bytes=0)
+        assert store.max_bytes is None
+        for v in range(10):
+            self._put(store, v)
+        assert store.evictions == 0
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        import os
+        store = ResultCache(str(tmp_path), max_bytes=10**9)
+        k1 = self._put(store, 1, mtime=1000.0)
+        k2 = self._put(store, 2, mtime=2000.0)
+        k3 = self._put(store, 3, mtime=3000.0)
+        entry = os.path.getsize(store._path(k1))
+        # Cap to two entries and write a fourth: the two oldest go.
+        store.max_bytes = int(entry * 2.5)
+        k4 = self._put(store, 4)
+        assert store.get(k1) is None and store.get(k2) is None
+        assert store.get(k3) is not None and store.get(k4) is not None
+        assert store.evictions == 2
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        import os
+        store = ResultCache(str(tmp_path), max_bytes=10**9)
+        k1 = self._put(store, 1, mtime=1000.0)
+        k2 = self._put(store, 2, mtime=2000.0)
+        # Touch the older entry via a hit: it must now outlive k2.
+        assert store.get(k1) is not None
+        entry = os.path.getsize(store._path(k1))
+        store.max_bytes = int(entry * 1.5)
+        k3 = self._put(store, 3)
+        assert store.get(k1) is None or store.get(k2) is None
+        assert store.get(k2) is None          # k2 became least recent
+        assert store.get(k3) is not None
+
+    def test_prune_skips_foreign_and_vanished_files(self, tmp_path):
+        import os
+        store = ResultCache(str(tmp_path), max_bytes=1)
+        k1 = self._put(store, 1)
+        # Foreign files (tmp leftovers, notes) are never deleted.
+        shard = os.path.dirname(store._path(k1))
+        keep = os.path.join(shard, "entry.json.tmp999")
+        with open(keep, "w") as fh:
+            fh.write("partial write")
+        store.prune()
+        assert os.path.exists(keep)
+        assert store.get(k1) is None          # the entry itself pruned
+
+    def test_env_var_parsing(self, monkeypatch, tmp_path):
+        from repro.parallel.cache import DEFAULT_MAX_MB
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_MAX_MB", raising=False)
+        assert ResultCache(str(tmp_path)).max_bytes \
+            == int(DEFAULT_MAX_MB * 1024 * 1024)
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_MAX_MB", "2")
+        assert ResultCache(str(tmp_path)).max_bytes == 2 * 1024 * 1024
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_MAX_MB", "0")
+        assert ResultCache(str(tmp_path)).max_bytes is None
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_MAX_MB", "-5")
+        assert ResultCache(str(tmp_path)).max_bytes is None
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_MAX_MB", "lots")
+        with pytest.warns(RuntimeWarning, match="MAX_MB"):
+            assert ResultCache(str(tmp_path)).max_bytes \
+                == int(DEFAULT_MAX_MB * 1024 * 1024)
+
+    def test_capped_cache_still_correct_through_engine(self, tmp_path):
+        """A tiny cap degrades hit rate, never correctness."""
+        marker = str(tmp_path / "executions")
+        cache = ResultCache(str(tmp_path / "cache"), max_bytes=1)
+        specs = [JobSpec("_test_count",
+                         CountConfig(value=v, marker=marker))
+                 for v in (1, 2, 3)]
+        first = run_jobs(specs, jobs=1, cache=cache)
+        second = run_jobs(specs, jobs=1, cache=cache)
+        assert [o.result for o in first] == [o.result for o in second] \
+            == [2, 4, 6]
+
+
 class TestCacheVersion:
     """Dirty trees must be content-addressed, never share one namespace."""
 

@@ -1,0 +1,65 @@
+"""`repro serve` CLI: loadgen and replay driven through main()."""
+
+from repro.cli import main
+
+
+def _loadgen(out, extra=()):
+    return main(["serve", "loadgen", "--seed", "0", "--requests", "12",
+                 "--no-solve", "--out", str(out), *extra])
+
+
+class TestServeLoadgen:
+    def test_runs_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert _loadgen(out) == 0
+        captured = capsys.readouterr()
+        assert "serve load test" in captured.out
+        assert "pool utilization" in captured.out
+        assert "report written" in captured.err
+        assert out.read_text().startswith('{\n')
+
+    def test_repeat_runs_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert _loadgen(a) == 0
+        assert _loadgen(b) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_jobs_flag_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["serve", "loadgen", "--seed", "0", "--requests", "8",
+                     "--no-cache", "--out", str(a)]) == 0
+        assert main(["serve", "loadgen", "--seed", "0", "--requests", "8",
+                     "--no-cache", "-j", "2", "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_hangs_surface_in_report(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        # Enough load that the armed hang plan actually fires (the plan
+        # targets per-device launch indices up to 16).
+        assert main(["serve", "loadgen", "--seed", "0", "--requests",
+                     "48", "--hangs", "2", "--no-solve",
+                     "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "resilience events:" in captured.out
+        assert '"hangs": ' in out.read_text()
+
+    def test_closed_mode(self, tmp_path):
+        out = tmp_path / "closed.json"
+        assert _loadgen(out, extra=["--mode", "closed"]) == 0
+        assert '"mode": "closed"' in out.read_text()
+
+
+class TestServeReplay:
+    def test_record_then_replay_byte_identical(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert _loadgen(a, extra=["--hangs", "1",
+                                  "--record", str(trace)]) == 0
+        assert "trace written" in capsys.readouterr().err
+        assert main(["serve", "replay", str(trace), "--no-solve",
+                     "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_replay_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["serve", "replay", str(missing)]) != 0

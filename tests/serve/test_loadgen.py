@@ -1,0 +1,155 @@
+"""Load generation and trace replay: the determinism contract."""
+
+import pytest
+
+from repro.serve.loadgen import (LoadGenConfig, load_trace, replay_trace,
+                                 run_loadgen, synthesize_requests,
+                                 write_trace)
+from repro.serve.pool import PoolConfig
+
+
+def _cfg(**kw):
+    kw.setdefault("seed", 0)
+    kw.setdefault("n_requests", 16)
+    return LoadGenConfig(**kw)
+
+
+class TestLoadGenConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            LoadGenConfig(mode="bursty")
+        with pytest.raises(ValueError):
+            LoadGenConfig(n_requests=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(arrival_rate_rps=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(sizes=())
+        with pytest.raises(ValueError):
+            LoadGenConfig(cpu_fraction=1.5)
+        with pytest.raises(ValueError, match="slack"):
+            LoadGenConfig(deadline_slack=1.0)
+
+    def test_dict_round_trip(self):
+        cfg = _cfg(mode="closed", sizes=(32, 64))
+        assert LoadGenConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestSynthesize:
+    def test_deterministic_per_seed(self):
+        pool = PoolConfig()
+        a = synthesize_requests(_cfg(), pool)
+        b = synthesize_requests(_cfg(), pool)
+        assert a == b
+        assert a != synthesize_requests(_cfg(seed=1), pool)
+
+    def test_population_shape(self):
+        reqs = synthesize_requests(_cfg(n_requests=64), PoolConfig())
+        assert [r.rid for r in reqs] == list(range(64))
+        assert {r.backend for r in reqs} <= {"device", "cpu"}
+        assert all(r.nx in (32, 48, 64, 96, 128) for r in reqs)
+        assert any(r.deadline_s is not None for r in reqs)
+
+    def test_fraction_extremes(self):
+        all_cpu = synthesize_requests(_cfg(cpu_fraction=1.0), PoolConfig())
+        assert all(r.backend == "cpu" for r in all_cpu)
+        none = synthesize_requests(
+            _cfg(deadline_fraction=0.0), PoolConfig())
+        assert all(r.deadline_s is None for r in none)
+
+
+class TestByteIdentity:
+    def test_open_loop_repeat_runs(self):
+        a = run_loadgen(_cfg(), solve=False)
+        b = run_loadgen(_cfg(), solve=False)
+        assert a.to_json_text() == b.to_json_text()
+
+    def test_closed_loop_repeat_runs(self):
+        cfg = _cfg(mode="closed")
+        a = run_loadgen(cfg, solve=False)
+        b = run_loadgen(cfg, solve=False)
+        assert a.to_json_text() == b.to_json_text()
+
+    def test_hang_plan_repeat_runs(self):
+        a = run_loadgen(_cfg(), n_hangs=2, solve=False)
+        b = run_loadgen(_cfg(), n_hangs=2, solve=False)
+        assert a.to_json_text() == b.to_json_text()
+
+    def test_worker_count_does_not_change_bytes(self):
+        cfg = _cfg(n_requests=8)
+        serial = run_loadgen(cfg, jobs=1, cache=False)
+        fanned = run_loadgen(cfg, jobs=2, cache=False)
+        assert serial.to_json_text() == fanned.to_json_text()
+
+
+class TestSolvePostPass:
+    def test_outcomes_annotated_and_solved(self):
+        report = run_loadgen(_cfg(n_requests=8), jobs=1, cache=False)
+        assert report.solves
+        for o in report.outcomes:
+            if o.status == "shed":
+                assert o.solve_key is None
+            else:
+                assert o.solve_key in report.solves
+                assert "grid_sha" in report.solves[o.solve_key]
+
+    def test_solve_off_leaves_report_lean(self):
+        report = run_loadgen(_cfg(n_requests=8), solve=False)
+        assert report.solves == {}
+        assert all(o.solve_key is None for o in report.outcomes)
+
+
+class TestRecordReplay:
+    def test_open_loop_replay_byte_identical(self, tmp_path):
+        trace = tmp_path / "open.jsonl"
+        original = run_loadgen(_cfg(), n_hangs=1, solve=False)
+        write_trace(original, str(trace))
+        replayed = replay_trace(str(trace), solve=False)
+        assert replayed.to_json_text() == original.to_json_text()
+
+    def test_closed_loop_replay_byte_identical(self, tmp_path):
+        trace = tmp_path / "closed.jsonl"
+        original = run_loadgen(_cfg(mode="closed"), solve=False)
+        write_trace(original, str(trace))
+        replayed = replay_trace(str(trace), solve=False)
+        assert replayed.to_json_text() == original.to_json_text()
+
+    def test_trace_covers_shed_requests(self, tmp_path):
+        report = run_loadgen(_cfg(), n_hangs=1, solve=False)
+        trace = tmp_path / "t.jsonl"
+        write_trace(report, str(trace))
+        _config, arrivals = load_trace(str(trace))
+        assert len(arrivals) == len(report.outcomes)
+        times = [t for t, _r in arrivals]
+        assert times == sorted(times)
+
+    def test_bad_traces_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(str(empty))
+        wrong = tmp_path / "wrong.jsonl"
+        wrong.write_text('{"schema": "other/1", "config": {}}\n')
+        with pytest.raises(ValueError, match="schema"):
+            load_trace(str(wrong))
+
+
+class TestServiceBehaviourUnderLoad:
+    def test_hangs_recovered_never_lost(self):
+        report = run_loadgen(_cfg(n_requests=24), n_hangs=2, solve=False)
+        assert report.metrics.counters.get("hangs", 0) >= 1
+        # Every submitted request is accounted for: completed, degraded
+        # or shed — and hang victims were retried or degraded, not lost.
+        assert len(report.outcomes) == 24
+        assert any("serve.hang" in line
+                   for line in report.metrics.trace.to_text().splitlines())
+
+    def test_report_aggregates_consistent(self):
+        report = run_loadgen(_cfg(), solve=False)
+        doc = report.to_json()
+        assert doc["schema"] == "repro-serve/1"
+        assert doc["requests"]["submitted"] == len(report.outcomes)
+        assert doc["requests"]["completed"] \
+            + doc["requests"]["shed"] == doc["requests"]["submitted"]
+        lat = doc["latency"]["total_s"]
+        assert lat["n"] == doc["requests"]["completed"]
+        assert set(doc["utilization"]) == {"e150-0", "e150-1", "cpu-0"}

@@ -1,0 +1,67 @@
+"""Request vocabulary: validation, tolerance conversion, round-trips."""
+
+import pytest
+
+from repro.serve.request import (AdmissionError, SolveRequest,
+                                 iterations_for_tolerance)
+
+
+class TestSolveRequest:
+    def test_defaults(self):
+        req = SolveRequest(rid=0)
+        assert req.nx == req.ny == 64
+        assert req.backend == "device"
+        assert req.points == 64 * 64
+        assert req.effective_iterations == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="too small"):
+            SolveRequest(rid=0, nx=2)
+        with pytest.raises(ValueError, match="iterations"):
+            SolveRequest(rid=0, iterations=0)
+        with pytest.raises(ValueError, match="backend"):
+            SolveRequest(rid=0, backend="gpu")
+        with pytest.raises(ValueError, match="priority"):
+            SolveRequest(rid=0, priority=-1)
+        with pytest.raises(ValueError, match="deadline"):
+            SolveRequest(rid=0, deadline_s=0.0)
+
+    def test_degraded_swaps_backend_only(self):
+        req = SolveRequest(rid=7, nx=32, ny=48, priority=2)
+        deg = req.degraded()
+        assert deg.backend == "cpu"
+        assert (deg.rid, deg.nx, deg.ny, deg.priority) == (7, 32, 48, 2)
+        assert req.backend == "device"  # frozen original untouched
+
+    def test_dict_round_trip(self):
+        req = SolveRequest(rid=3, nx=48, ny=96, iterations=16,
+                           backend="cpu", priority=0, deadline_s=0.5)
+        assert SolveRequest.from_dict(req.to_dict()) == req
+
+    def test_tolerance_caps_iterations(self):
+        req = SolveRequest(rid=0, nx=32, ny=32, iterations=10,
+                           tolerance=1e-12)
+        assert req.effective_iterations == 10  # clamped by budget
+        loose = SolveRequest(rid=1, nx=32, ny=32, iterations=10**6,
+                             tolerance=0.5)
+        assert 1 <= loose.effective_iterations < 10**6
+
+
+class TestIterationsForTolerance:
+    def test_monotone_in_tolerance(self):
+        tight = iterations_for_tolerance(64, 64, 1e-6, 10**6)
+        loose = iterations_for_tolerance(64, 64, 1e-2, 10**6)
+        assert tight > loose >= 1
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            iterations_for_tolerance(64, 64, 0.0, 100)
+        with pytest.raises(ValueError):
+            iterations_for_tolerance(64, 64, 1.5, 100)
+
+
+class TestAdmissionError:
+    def test_carries_reason_and_detail(self):
+        err = AdmissionError("queue_full", "class 0 holds 64/64")
+        assert err.reason == "queue_full"
+        assert "queue_full" in str(err) and "64/64" in str(err)

@@ -1,0 +1,103 @@
+"""Bounded priority queues and the batching policy."""
+
+import pytest
+
+from repro.serve.request import AdmissionError, SolveRequest
+from repro.serve.scheduler import (BoundedPriorityQueue, SchedulerConfig,
+                                   plan_batch)
+
+
+def _req(rid, priority=1, backend="device", nx=32, ny=32, **kw):
+    return SolveRequest(rid=rid, nx=nx, ny=ny, priority=priority,
+                        backend=backend, **kw)
+
+
+class TestSchedulerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(n_priorities=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(queue_capacity=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_batch=0)
+
+
+class TestBoundedPriorityQueue:
+    def test_priority_order_fifo_within_class(self):
+        q = BoundedPriorityQueue(SchedulerConfig())
+        q.push(_req(0, priority=2))
+        q.push(_req(1, priority=0))
+        q.push(_req(2, priority=0))
+        q.push(_req(3, priority=1))
+        assert [q.pop().rid for _ in range(4)] == [1, 2, 3, 0]
+        assert q.pop() is None
+
+    def test_full_class_raises_queue_full(self):
+        q = BoundedPriorityQueue(SchedulerConfig(queue_capacity=2))
+        q.push(_req(0, priority=0))
+        q.push(_req(1, priority=0))
+        with pytest.raises(AdmissionError) as excinfo:
+            q.push(_req(2, priority=0))
+        assert excinfo.value.reason == "queue_full"
+        # Other classes are unaffected by one full class.
+        q.push(_req(3, priority=1))
+        assert len(q) == 3
+
+    def test_push_front_bypasses_capacity_and_leads(self):
+        q = BoundedPriorityQueue(SchedulerConfig(queue_capacity=2))
+        q.push(_req(0, priority=0))
+        q.push(_req(1, priority=0))
+        q.push_front(_req(9, priority=0))      # retry: never shed
+        assert len(q) == 3
+        assert q.peek().rid == 9
+
+    def test_excess_priority_clamped_to_lowest_class(self):
+        q = BoundedPriorityQueue(SchedulerConfig(n_priorities=2))
+        q.push(_req(0, priority=99))
+        q.push(_req(1, priority=0))
+        assert q.pop().rid == 1
+        assert q.pop().rid == 0
+
+    def test_pop_where_preserves_non_matching_order(self):
+        q = BoundedPriorityQueue(SchedulerConfig())
+        q.push(_req(0, backend="cpu"))
+        q.push(_req(1, backend="device"))
+        q.push(_req(2, backend="cpu"))
+        q.push(_req(3, backend="device"))
+        got = q.pop_where(lambda r: r.backend == "device", limit=2)
+        assert [r.rid for r in got] == [1, 3]
+        assert [q.pop().rid for _ in range(2)] == [0, 2]
+
+    def test_pop_where_respects_limit_and_priority(self):
+        q = BoundedPriorityQueue(SchedulerConfig())
+        q.push(_req(0, priority=1))
+        q.push(_req(1, priority=0))
+        got = q.pop_where(lambda r: True, limit=1)
+        assert [r.rid for r in got] == [1]
+        assert q.depth() == 1
+
+
+class TestPlanBatch:
+    def test_single_request_gets_whole_grid(self):
+        plan = plan_batch([_req(0, nx=200, ny=200)], grid=(12, 9))
+        assert plan.allocations == ((12, 9),)
+
+    def test_batch_carves_row_bands(self):
+        reqs = [_req(i, nx=200, ny=200) for i in range(3)]
+        plan = plan_batch(reqs, grid=(12, 9))
+        assert len(plan) == 3
+        # split_domain(12 rows, 3 parts) -> 4-row bands spanning width 9.
+        assert plan.allocations == ((4, 9), (4, 9), (4, 9))
+
+    def test_allocation_clamped_to_tiny_interior(self):
+        plan = plan_batch([_req(0, nx=3, ny=3)], grid=(12, 9))
+        assert plan.allocations == ((3, 3),)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            plan_batch([], grid=(12, 9))
+
+    def test_oversized_batch_rejected(self):
+        reqs = [_req(i) for i in range(13)]
+        with pytest.raises(ValueError, match="exceeds"):
+            plan_batch(reqs, grid=(12, 9))

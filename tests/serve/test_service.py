@@ -1,0 +1,212 @@
+"""SolveService end-to-end: admission, batching, hangs, degradation."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.grid import LaplaceProblem
+from repro.cpu.jacobi import jacobi_solve_f32
+from repro.serve.jobs import run_solve_postpass, solve_key
+from repro.serve.pool import PoolConfig, ServeHang, best_case_service_s
+from repro.serve.request import AdmissionError, SolveRequest
+from repro.serve.scheduler import SchedulerConfig
+from repro.serve.service import SolveService
+from repro.sim import Simulator
+
+
+def _service(scheduler=None, pool=None, hangs=()):
+    sim = Simulator()
+    svc = SolveService(sim, scheduler, pool, hangs)
+    return sim, svc
+
+
+class TestAdmission:
+    def test_duplicate_rid_rejected(self):
+        sim, svc = _service()
+        svc.submit(SolveRequest(rid=0))
+        with pytest.raises(AdmissionError) as excinfo:
+            svc.submit(SolveRequest(rid=0))
+        assert excinfo.value.reason == "invalid"
+
+    def test_backend_without_members_rejected(self):
+        sim, svc = _service(pool=PoolConfig(n_devices=0, n_cpu_workers=1))
+        with pytest.raises(AdmissionError, match="no devices"):
+            svc.submit(SolveRequest(rid=0, backend="device"))
+
+    def test_unmeetable_deadline_shed_and_raised(self):
+        sim, svc = _service()
+        with pytest.raises(AdmissionError) as excinfo:
+            svc.submit(SolveRequest(rid=0, deadline_s=1e-12))
+        assert excinfo.value.reason == "deadline_unmeetable"
+        # Shed requests are reported, never silently dropped.
+        assert len(svc.outcomes) == 1
+        out = svc.outcomes[0]
+        assert out.status == "shed"
+        assert out.shed_reason == "deadline_unmeetable"
+        assert svc.metrics.counters["shed.deadline_unmeetable"] == 1
+
+    def test_queue_full_shed_and_raised(self):
+        sim, svc = _service(scheduler=SchedulerConfig(queue_capacity=1))
+        svc.submit(SolveRequest(rid=0, priority=0))
+        with pytest.raises(AdmissionError) as excinfo:
+            svc.submit(SolveRequest(rid=1, priority=0))
+        assert excinfo.value.reason == "queue_full"
+        assert svc.outcomes[0].shed_reason == "queue_full"
+        assert svc.metrics.counters["shed"] == 1
+
+    def test_meetable_deadline_admitted_and_met(self):
+        sim, svc = _service()
+        req = SolveRequest(rid=0, nx=32, ny=32)
+        slack = 8 * best_case_service_s(req, svc.pool_cfg)
+        done = svc.submit(SolveRequest(rid=0, nx=32, ny=32,
+                                       deadline_s=slack))
+        sim.run()
+        assert done.ok and done.value.deadline_met is True
+
+
+class TestDeadlineExpiry:
+    def test_queued_request_past_deadline_is_shed(self):
+        pool = PoolConfig(n_devices=1, n_cpu_workers=0)
+        sim, svc = _service(pool=pool)
+        # A long-running head-of-line request...
+        svc.submit(SolveRequest(rid=0, nx=256, ny=256, iterations=4000,
+                                priority=0))
+        # ...then one whose (meetable) deadline expires while it queues.
+        req = SolveRequest(rid=1, nx=32, ny=32)
+        deadline = 1.5 * best_case_service_s(req, pool)
+        done = svc.submit(SolveRequest(rid=1, nx=32, ny=32,
+                                       deadline_s=deadline, priority=0))
+        sim.run()
+        shed = [o for o in svc.outcomes if o.status == "shed"]
+        assert [o.request.rid for o in shed] == [1]
+        assert shed[0].shed_reason == "deadline_expired"
+        assert not done.ok
+        assert done.value.reason == "deadline_expired"
+
+
+class TestBatching:
+    @staticmethod
+    def _run(max_batch, n=4, size=32):
+        sim, svc = _service(
+            scheduler=SchedulerConfig(max_batch=max_batch),
+            pool=PoolConfig(n_devices=1, n_cpu_workers=0))
+        for rid in range(n):
+            svc.submit(SolveRequest(rid=rid, nx=size, ny=size,
+                                    iterations=32))
+        sim.run()
+        return sim.now, svc
+
+    def test_batched_beats_serial_simulated_time(self):
+        """Packing compatible small grids onto one launch wins latency."""
+        batched_t, batched = self._run(max_batch=4)
+        serial_t, serial = self._run(max_batch=1)
+        assert batched.metrics.counters["launches.device"] == 1
+        assert batched.metrics.counters["batches.multi"] == 1
+        assert serial.metrics.counters["launches.device"] == 4
+        assert "batches.multi" not in serial.metrics.counters
+        assert batched_t < serial_t
+        # Everyone still completes, with per-request core slices.
+        done = [o for o in batched.outcomes if o.status == "completed"]
+        assert len(done) == 4
+        assert all(o.batch_size == 4 and o.cores == (3, 9) for o in done)
+
+    def test_large_request_never_batched(self):
+        sim, svc = _service(
+            scheduler=SchedulerConfig(max_batch=4,
+                                      batch_point_limit=16384),
+            pool=PoolConfig(n_devices=1, n_cpu_workers=0))
+        svc.submit(SolveRequest(rid=0, nx=256, ny=256))   # over the limit
+        svc.submit(SolveRequest(rid=1, nx=32, ny=32))
+        sim.run()
+        big = next(o for o in svc.outcomes if o.request.rid == 0)
+        assert big.batch_size == 1 and big.cores == (12, 9)
+
+
+class TestHangRecovery:
+    def test_hang_retries_on_another_member(self):
+        sim, svc = _service(pool=PoolConfig(n_devices=2, n_cpu_workers=0,
+                                            max_retries=1),
+                            hangs=(ServeHang(0, 0),))
+        done = svc.submit(SolveRequest(rid=0, nx=32, ny=32))
+        sim.run()
+        out = done.value
+        assert out.status == "completed"
+        assert out.worker == "e150-1"            # not the wedged member
+        assert out.retries == 1
+        assert svc.metrics.counters["hangs"] == 1
+        assert svc.metrics.counters["retries"] == 1
+        text = svc.metrics.trace.to_text()
+        assert "serve.hang" in text and "retried" in text
+        assert "watchdog@" in text
+
+    def test_exhausted_retries_degrade_to_cpu(self):
+        sim, svc = _service(pool=PoolConfig(n_devices=1, n_cpu_workers=1,
+                                            max_retries=0),
+                            hangs=(ServeHang(0, 0),))
+        done = svc.submit(SolveRequest(rid=0, nx=32, ny=32, iterations=8))
+        sim.run()
+        out = done.value
+        assert out.status == "degraded"
+        assert out.backend_used == "cpu" and out.worker == "cpu-0"
+        assert out.request.backend == "device"   # original preserved
+        assert svc.metrics.counters["degraded"] == 1
+        text = svc.metrics.trace.to_text()
+        assert "degraded" in text and "to-cpu" in text
+
+    def test_degraded_output_is_the_correct_cpu_solve(self):
+        sim, svc = _service(pool=PoolConfig(n_devices=1, n_cpu_workers=1,
+                                            max_retries=0),
+                            hangs=(ServeHang(0, 0),))
+        svc.submit(SolveRequest(rid=0, nx=32, ny=32, iterations=8))
+        sim.run()
+        solves, annotated = run_solve_postpass(svc.outcomes, jobs=1)
+        key = solve_key("cpu", 32, 32, 8)
+        assert annotated[0].solve_key == key
+        u = jacobi_solve_f32(LaplaceProblem(nx=32, ny=32).initial_grid_f32(),
+                             8)
+        expect = hashlib.sha256(
+            np.ascontiguousarray(u).tobytes()).hexdigest()
+        assert solves[key]["grid_sha"] == expect
+
+    def test_no_fallback_sheds_loudly(self):
+        sim, svc = _service(pool=PoolConfig(n_devices=1, n_cpu_workers=0,
+                                            max_retries=0),
+                            hangs=(ServeHang(0, 0),))
+        done = svc.submit(SolveRequest(rid=0, nx=32, ny=32))
+        sim.run()
+        assert not done.ok
+        assert done.value.reason == "retries_exhausted"
+        out = svc.outcomes[0]
+        assert out.status == "shed"
+        assert out.shed_reason == "retries_exhausted"
+        assert svc.metrics.counters["shed.retries_exhausted"] == 1
+
+    def test_wedged_member_cools_down_then_returns(self):
+        sim, svc = _service(pool=PoolConfig(n_devices=1, n_cpu_workers=0,
+                                            max_retries=1),
+                            hangs=(ServeHang(0, 0),))
+        done = svc.submit(SolveRequest(rid=0, nx=32, ny=32))
+        sim.run()
+        # One device: the retry must wait out the cooldown, then succeed
+        # on the same (recovered) member.
+        out = done.value
+        assert out.status == "completed" and out.worker == "e150-0"
+        assert out.start_s >= svc.pool_cfg.hang_cooldown_s
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run_once():
+        sim, svc = _service(pool=PoolConfig(n_devices=2, n_cpu_workers=1),
+                            hangs=(ServeHang(0, 1),))
+        for rid in range(8):
+            backend = "cpu" if rid % 4 == 0 else "device"
+            svc.submit(SolveRequest(rid=rid, nx=32, ny=32,
+                                    backend=backend, priority=rid % 3))
+        sim.run()
+        return [(o.request.rid, o.status, o.worker, o.batch_id,
+                 o.start_s, o.finish_s) for o in svc.outcomes]
+
+    def test_repeat_runs_identical(self):
+        assert self._run_once() == self._run_once()
