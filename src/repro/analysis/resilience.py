@@ -14,12 +14,17 @@ handled (ECC-corrected, retried, rolled back, remapped, watchdog-killed).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.report import Table
 
-__all__ = ["FaultEvent", "FaultTrace", "ResilienceReport"]
+__all__ = ["FAULTS_SCHEMA", "FaultEvent", "FaultTrace",
+           "ResilienceReport"]
+
+#: schema tag of the FaultTrace JSON export; bump on layout changes.
+FAULTS_SCHEMA = "repro-faults/1"
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,45 @@ class FaultTrace:
     def write(self, path: str) -> None:
         with open(path, "w") as fh:
             fh.write(self.to_text())
+
+    # -- versioned JSON (matches the repro-serve report convention) --------
+    def to_json(self) -> dict:
+        """Schema-tagged document; events as fixed-order rows."""
+        return {
+            "schema": FAULTS_SCHEMA,
+            "n_events": len(self.events),
+            "events": [[e.t, e.kind, e.where, e.action, e.detail]
+                       for e in self.events],
+        }
+
+    def to_json_text(self) -> str:
+        """Canonical byte-stable rendering (sorted keys, fixed format)."""
+        return json.dumps(self.to_json(), sort_keys=True, indent=1) + "\n"
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultTrace":
+        """Inverse of :meth:`to_json`; round-trips byte-identically."""
+        schema = doc.get("schema")
+        if schema != FAULTS_SCHEMA:
+            raise ValueError(f"not a fault-trace document: schema "
+                             f"{schema!r} (want {FAULTS_SCHEMA!r})")
+        trace = cls()
+        for t, kind, where, action, detail in doc.get("events", []):
+            trace.record(t, kind, where, action, detail)
+        if len(trace) != doc.get("n_events", len(trace)):
+            raise ValueError(
+                f"fault-trace document is inconsistent: n_events="
+                f"{doc.get('n_events')} but {len(trace)} row(s)")
+        return trace
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json_text())
+
+    @classmethod
+    def read_json(cls, path: str) -> "FaultTrace":
+        with open(path) as fh:
+            return cls.from_json(json.load(fh))
 
 
 class ResilienceReport:

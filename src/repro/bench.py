@@ -284,6 +284,50 @@ def _bench_serve_smoke(smoke: bool) -> Tuple[float, float,
     return wall, wall, inv
 
 
+def _bench_chaos_smoke(smoke: bool) -> Tuple[float, float,
+                                             Dict[str, object]]:
+    """Chaos-serving macro scenario: full fault vocabulary at unit
+    intensity.
+
+    A fault-free baseline plus one chaos run (NoC delay/drop, ECC
+    scrubs, kernel hangs, in-flight SDC, mid-launch core failures) over
+    the same closed-loop load.  The invariants pin the chaos report
+    byte-for-byte plus the resilience headline numbers — detected SDC,
+    retries, sheds, p99 inflation — so any drift in fault consumption
+    order, health-breaker transitions or retry backoff is a semantic
+    change, not noise.
+    """
+    import hashlib
+
+    from repro.serve import (ChaosConfig, LoadGenConfig, run_loadgen,
+                             summarize_chaos_run, verify_chaos_report)
+
+    n = 40 if smoke else 160
+    cfg = LoadGenConfig(mode="closed", seed=3, n_requests=n, n_clients=6)
+    chaos = ChaosConfig(seed=3, intensity=1.0)
+    t0 = time.perf_counter()
+    base = run_loadgen(cfg, solve=False, jobs=1, cache=False)
+    report = run_loadgen(cfg, chaos=chaos, solve=False, jobs=1,
+                         cache=False)
+    wall = time.perf_counter() - t0
+    counters = report.metrics.counters
+    base_p99 = base.latencies()["total_s"].get("p99", 0.0) or 0.0
+    p99 = report.latencies()["total_s"].get("p99", 0.0) or 0.0
+    summary = summarize_chaos_run(report, chaos.intensity)
+    inv = {
+        "report_sha": summary["report_sha"],
+        "sim_now": report.duration_s,
+        "violations": len(verify_chaos_report(report)),
+        "sdc_detected": counters.get("sdc.detected", 0),
+        "hangs": counters.get("hangs", 0),
+        "core_failures": counters.get("chaos.core_failure", 0),
+        "shed": counters.get("shed", 0),
+        "retries": counters.get("retries", 0),
+        "p99_inflation": round(p99 / base_p99, 6) if base_p99 else 0.0,
+    }
+    return wall, wall, inv
+
+
 # --------------------------------------------------------------------------
 # runner
 # --------------------------------------------------------------------------
@@ -300,6 +344,7 @@ BENCHMARKS: Dict[str, Tuple[str, str, str, bool, Callable]] = {
                          _bench_jacobi_multicore),
     "stream_sweep": ("macro", "wall_s", "s", False, _bench_stream_sweep),
     "serve_smoke": ("macro", "wall_s", "s", False, _bench_serve_smoke),
+    "chaos_smoke": ("macro", "wall_s", "s", False, _bench_chaos_smoke),
 }
 
 

@@ -11,7 +11,7 @@ Commands
 ``lint``     statically verify every shipped kernel and program
 ``bench``    run the perf benchmark suite, emit BENCH_<date>.json
 ``sweep``    run a streaming sweep through the parallel engine
-``serve``    multi-tenant solve service: seeded load test or trace replay
+``serve``    multi-tenant solve service: load test, replay, chaos campaign
 
 Sweep-producing commands (``table``, ``sweep``, ``faults``, ``bench``)
 accept a global ``-j/--jobs N`` flag that fans their independent,
@@ -41,6 +41,8 @@ Examples::
     python -m repro serve loadgen --seed 0 --requests 64 --hangs 2
     python -m repro serve loadgen --seed 0 --record trace.jsonl
     python -m repro serve replay trace.jsonl
+    python -m repro serve chaos --seed 0 --requests 48 --intensities 0.5,1,2
+    python -m repro faults --seed 7 --trace-json trace.json
 """
 
 from __future__ import annotations
@@ -160,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the DRAM ECC scrub model")
     f.add_argument("--trace-out", default=None,
                    help="write the canonical fault trace to this file")
+    f.add_argument("--trace-json", default=None,
+                   help="write the fault trace as JSON (schema "
+                        "repro-faults/1; byte-stable, round-trips via "
+                        "FaultTrace.from_json)")
     f.add_argument("--replay-check", action="store_true",
                    help="run the campaign twice and diff the traces")
     f.add_argument("--hang-demo", action="store_true",
@@ -220,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--deadline-fraction", type=float, default=0.25)
     lg.add_argument("--hangs", type=int, default=0,
                     help="arm this many seeded device hangs")
+    lg.add_argument("--chaos-intensity", type=float, default=0.0,
+                    help="inject a full seeded chaos plan at this "
+                         "intensity (0 = off; see docs/chaos_serving.md)")
+    lg.add_argument("--chaos-seed", type=int, default=None,
+                    help="chaos plan seed (default: --seed)")
     lg.add_argument("--devices", type=int, default=2)
     lg.add_argument("--cpu-workers", type=int, default=1)
     lg.add_argument("--max-batch", type=int, default=4)
@@ -227,7 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--no-solve", action="store_true",
                     help="skip the functional solve post-pass")
     lg.add_argument("--out", default=None,
-                    help="write the JSON report (schema repro-serve/1)")
+                    help="write the JSON report (schema repro-serve/2)")
     lg.add_argument("--record", default=None,
                     help="record the request trace to this JSONL file")
     rp = svsub.add_parser("replay", parents=[par],
@@ -236,7 +247,37 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--no-solve", action="store_true",
                     help="skip the functional solve post-pass")
     rp.add_argument("--out", default=None,
-                    help="write the JSON report (schema repro-serve/1)")
+                    help="write the JSON report (schema repro-serve/2)")
+    ch = svsub.add_parser(
+        "chaos", parents=[par],
+        help="run a seeded chaos campaign against the service",
+        description="Sweep seeded fault intensities (NoC delay/drop, ECC "
+                    "scrubs, kernel hangs, in-flight SDC, mid-launch core "
+                    "failures) over one serve configuration through "
+                    "repro.parallel, and assert the zero-silent-anything "
+                    "invariants: every SDC detected, every shed typed, "
+                    "every request terminally accounted, p99 inflation "
+                    "bounded.  Exits 1 on any violation.")
+    ch.add_argument("--seed", type=int, default=0)
+    ch.add_argument("--mode", default="open", choices=["open", "closed"])
+    ch.add_argument("--requests", type=int, default=48)
+    ch.add_argument("--rate", type=float, default=8000.0,
+                    help="open loop: Poisson arrival rate (requests/s)")
+    ch.add_argument("--clients", type=int, default=4,
+                    help="closed loop: concurrent tenants")
+    ch.add_argument("--intensities", default="0.5,1,2",
+                    help="comma-separated fault-intensity multipliers; a "
+                         "fault-free baseline always runs first")
+    ch.add_argument("--devices", type=int, default=2)
+    ch.add_argument("--cpu-workers", type=int, default=1)
+    ch.add_argument("--p99-inflation-limit", type=float, default=50.0,
+                    help="max allowed p99(total latency) / baseline p99")
+    ch.add_argument("--out", default=None,
+                    help="write the campaign JSON "
+                         "(schema repro-serve-chaos/1)")
+    ch.add_argument("--replay-check", action="store_true",
+                    help="run the campaign twice (cache off) and require "
+                         "byte-identical documents")
     return p
 
 
@@ -485,6 +526,9 @@ def _cmd_faults(args) -> int:
         # status, not report content: keep stdout byte-comparable across
         # runs that write their traces to different paths
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.trace_json:
+        report.trace.write_json(args.trace_json)
+        print(f"trace JSON written to {args.trace_json}", file=sys.stderr)
     return 0
 
 
@@ -609,6 +653,8 @@ def _cmd_serve(args) -> int:
 
     jobs, cache = _parallel_opts(args)
     progress = lambda m: print(m, file=sys.stderr)  # noqa: E731
+    if args.serve_command == "chaos":
+        return _cmd_serve_chaos(args, jobs, cache, progress)
     solve = not args.no_solve
     if args.serve_command == "replay":
         try:
@@ -625,14 +671,19 @@ def _cmd_serve(args) -> int:
             think_s=args.think_s, sizes=sizes,
             iterations=args.iterations, cpu_fraction=args.cpu_fraction,
             deadline_fraction=args.deadline_fraction)
+        chaos = None
+        if args.chaos_intensity > 0:
+            from repro.serve import ChaosConfig
+            seed = args.seed if args.chaos_seed is None else args.chaos_seed
+            chaos = ChaosConfig(seed=seed, intensity=args.chaos_intensity)
         report = run_loadgen(
             cfg,
             scheduler=SchedulerConfig(max_batch=args.max_batch,
                                       queue_capacity=args.queue_capacity),
             pool=PoolConfig(n_devices=args.devices,
                             n_cpu_workers=args.cpu_workers),
-            n_hangs=args.hangs, solve=solve, jobs=jobs, cache=cache,
-            progress=progress)
+            n_hangs=args.hangs, chaos=chaos, solve=solve, jobs=jobs,
+            cache=cache, progress=progress)
         if args.record:
             write_trace(report, args.record)
             print(f"trace written to {args.record}", file=sys.stderr)
@@ -641,6 +692,52 @@ def _cmd_serve(args) -> int:
         report.write(args.out)
         print(f"report written to {args.out}", file=sys.stderr)
     return 0
+
+
+def _cmd_serve_chaos(args, jobs, cache, progress) -> int:
+    """Seeded chaos campaign: fault intensities swept over the service.
+
+    stdout (the campaign table and the --out JSON) is byte-identical
+    across repeat runs and -j settings; exits 1 if any run violates the
+    zero-silent-corruption / typed-shed / bounded-p99 invariants.
+    """
+    import json
+
+    from repro.serve import (ChaosConfig, LoadGenConfig, PoolConfig,
+                             render_chaos_campaign, run_chaos_campaign)
+
+    intensities = tuple(float(s) for s in args.intensities.split(",")
+                        if s.strip())
+    loadgen = LoadGenConfig(
+        mode=args.mode, seed=args.seed, n_requests=args.requests,
+        arrival_rate_rps=args.rate, n_clients=args.clients)
+    pool = PoolConfig(n_devices=args.devices,
+                      n_cpu_workers=args.cpu_workers)
+    chaos = ChaosConfig(seed=args.seed)
+    if args.replay_check:
+        cache = False  # a cache hit would make the repeat-run check vacuous
+    doc = run_chaos_campaign(
+        loadgen, pool=pool, chaos=chaos, intensities=intensities,
+        p99_inflation_limit=args.p99_inflation_limit,
+        jobs=jobs, cache=cache, progress=progress)
+    text = json.dumps(doc, sort_keys=True, indent=1) + "\n"
+    if args.replay_check:
+        again = run_chaos_campaign(
+            loadgen, pool=pool, chaos=chaos, intensities=intensities,
+            p99_inflation_limit=args.p99_inflation_limit,
+            jobs=jobs, cache=False, progress=progress)
+        if json.dumps(again, sort_keys=True, indent=1) + "\n" != text:
+            print("REPLAY MISMATCH: campaign documents differ between "
+                  "identical runs")
+            return 1
+        print(f"replay check: {1 + len(intensities)} run(s), "
+              "byte-identical")
+    print(render_chaos_campaign(doc))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"campaign written to {args.out}", file=sys.stderr)
+    return 1 if doc["violations_total"] else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

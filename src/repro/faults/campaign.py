@@ -110,14 +110,7 @@ def _device_phase(cfg: CampaignConfig, plan: FaultPlan,
         device.sim.run(until=ev)
 
     # A full-bank read sweeps the ECC scrubber over every injected flip.
-    for bank in device.dram.banks:
-        bank.read(0, bank.capacity)
-    corrected = sum(b.ecc_corrected for b in device.dram.banks)
-    uncorrectable = sum(b.ecc_uncorrectable for b in device.dram.banks)
-    for _ in range(corrected):
-        trace.record(device.sim.now, "dram.bitflip", "scrub", "corrected")
-    for _ in range(uncorrectable):
-        trace.record(device.sim.now, "dram.bitflip", "scrub", "uncorrectable")
+    corrected, _uncorrectable = injector.scrub_banks()
     report.note("dram flips corrected by ECC",
                 f"{corrected}/{len(plan.dram)}")
     report.note("noc faults consumed",

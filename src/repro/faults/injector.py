@@ -80,6 +80,25 @@ class FaultInjector:
                           f"noc{fault.noc_id}", "armed",
                           f"delay={fault.delay_s:.9g}")
 
+    def scrub_banks(self) -> Tuple[int, int]:
+        """Sweep every DRAM bank through a full read.
+
+        Reading drives the ECC scrubber over each injected flip; the
+        per-flip verdicts are appended to the trace.  Returns
+        ``(corrected, uncorrectable)`` totals across all banks.
+        """
+        banks = self.device.dram.banks
+        for bank in banks:
+            bank.read(0, bank.capacity)
+        corrected = sum(b.ecc_corrected for b in banks)
+        uncorrectable = sum(b.ecc_uncorrectable for b in banks)
+        now = self.device.sim.now
+        for _ in range(corrected):
+            self.trace.record(now, "dram.bitflip", "scrub", "corrected")
+        for _ in range(uncorrectable):
+            self.trace.record(now, "dram.bitflip", "scrub", "uncorrectable")
+        return corrected, uncorrectable
+
     def _apply_hang(self, hang: KernelHang) -> None:
         x, y = hang.core
         self.device.core(x, y).inject_hang(hang.slot)

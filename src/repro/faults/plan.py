@@ -191,6 +191,30 @@ class FaultPlan:
             "core_failures": [row(f) for f in self.core_failures],
         }
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (tuples restored).
+
+        The inverse is exact: ``FaultPlan.from_dict(p.to_dict()) == p``,
+        which is what lets a serve chaos trace header carry its fault
+        plan and replay it bit-for-bit.
+        """
+        def rows(key, typ):
+            out = []
+            for row in doc.get(key, []):
+                kw = dict(row)
+                if "core" in kw:
+                    kw["core"] = tuple(kw["core"])
+                out.append(typ(**kw))
+            return tuple(out)
+        return cls(seed=int(doc["seed"]),
+                   dram=rows("dram", DramBitFlip),
+                   noc=rows("noc", NocFault),
+                   hangs=rows("hangs", KernelHang),
+                   pcie=rows("pcie", PcieCorruption),
+                   solver=rows("solver", SolverBitFlip),
+                   core_failures=rows("core_failures", CoreFailure))
+
     def describe(self) -> str:
         return (f"FaultPlan(seed={self.seed}): "
                 f"{len(self.dram)} DRAM flip(s), {len(self.noc)} NoC "

@@ -4,16 +4,27 @@ An event-driven, deterministic serving layer that multiplexes many
 :class:`SolveRequest` streams over a pool of simulated e150 devices and
 CPU workers: bounded priority queues with typed admission control
 (:class:`AdmissionError`), a batching scheduler that packs compatible
-small grids onto one multi-core launch, watchdog/retry/degrade handling
-of device hangs in the :mod:`repro.faults` vocabulary, and latency-SLO
-telemetry (p50/p95/p99) rendered by :func:`render_serve_report`.
+small grids onto one multi-core launch, a per-member health lifecycle
+(``healthy → suspect → quarantined → reintegrating`` with canary-probe
+reintegration), full fault-campaign injection in the :mod:`repro.faults`
+vocabulary (:mod:`repro.serve.chaos`: NoC delay/drop, ECC scrubs, kernel
+hangs, in-flight SDC, mid-launch core failures), watchdog/retry/degrade
+handling with deterministic backoff, and latency-SLO + resilience
+telemetry (p50/p95/p99, MTTR, fault-attributed latency) rendered by
+:func:`render_serve_report`.
 
 Everything runs in simulated time on :mod:`repro.sim.engine`; functional
 answers come from a :mod:`repro.parallel` post-pass.  Reports are
 byte-identical across repeat runs, ``-j`` settings, and record/replay.
-CLI: ``repro serve loadgen`` / ``repro serve replay``.
+CLI: ``repro serve loadgen`` / ``repro serve replay`` /
+``repro serve chaos``.
 """
 
+from repro.serve.chaos import (CHAOS_SCHEMA, ChaosConfig, ChaosPlan,
+                               build_chaos, render_chaos_campaign,
+                               run_chaos_campaign, summarize_chaos_run,
+                               verify_chaos_report)
+from repro.serve.health import (HEALTH_STATES, HealthConfig, MemberHealth)
 from repro.serve.jobs import ServeSolveConfig, run_solve_postpass, solve_key
 from repro.serve.loadgen import (TRACE_SCHEMA, LoadGenConfig, load_trace,
                                  replay_trace, run_loadgen,
@@ -32,14 +43,20 @@ from repro.serve.telemetry import (SERVE_SCHEMA, ServeMetrics, ServeReport,
 
 __all__ = [
     "BACKENDS",
+    "CHAOS_SCHEMA",
+    "HEALTH_STATES",
     "SERVE_SCHEMA",
     "TRACE_SCHEMA",
     "AdmissionError",
     "BatchPlan",
     "BoundedPriorityQueue",
+    "ChaosConfig",
+    "ChaosPlan",
     "CpuWorker",
     "DeviceMember",
+    "HealthConfig",
     "LoadGenConfig",
+    "MemberHealth",
     "PoolConfig",
     "RequestOutcome",
     "SchedulerConfig",
@@ -51,6 +68,7 @@ __all__ = [
     "SolveService",
     "WorkerPool",
     "best_case_service_s",
+    "build_chaos",
     "cpu_service_time",
     "device_service_time",
     "generate_hangs",
@@ -58,11 +76,15 @@ __all__ = [
     "launch_overhead_s",
     "load_trace",
     "plan_batch",
+    "render_chaos_campaign",
     "render_serve_report",
     "replay_trace",
+    "run_chaos_campaign",
     "run_loadgen",
     "run_solve_postpass",
     "solve_key",
+    "summarize_chaos_run",
     "synthesize_requests",
+    "verify_chaos_report",
     "write_trace",
 ]

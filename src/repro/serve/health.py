@@ -1,0 +1,192 @@
+"""Per-pool-member health lifecycle: a deterministic circuit breaker.
+
+Each :class:`~repro.serve.pool.DeviceMember` carries a
+:class:`MemberHealth` that folds every fault the member experiences —
+watchdog hangs, detected SDC, NoC drops, canary failures — into a
+sliding window over *simulated* time and drives a four-state machine::
+
+    healthy ──fault──> suspect ──more faults──> quarantined
+       ^                  │                          │
+       │             window drains              drained, then
+       │             (holdoff)                  canary-probed
+       │                                             │
+       └── clean launches ─── reintegrating <────────┘
+
+* ``healthy``       — full member of the pool.
+* ``suspect``       — recent fault(s); rests for ``suspect_holdoff_s``
+  before accepting the next launch, then serves at the back of the
+  selection order until the window drains.
+* ``quarantined``   — the breaker tripped (``quarantine_after`` faults
+  inside ``window_s``).  The member accepts no tenant work; the service
+  drains it and probes it with canary solves.
+* ``reintegrating`` — canaries passed; the member takes tenant work
+  again (after healthy peers) and returns to ``healthy`` after
+  ``reintegrate_successes`` consecutive clean launches.  Any fault
+  while reintegrating sends it straight back to quarantine.
+
+Everything is a pure function of fault arrival times in simulated
+seconds, so health transitions — like every other serve decision —
+replay byte-identically from a trace.  MTTR (mean time to recovery:
+simulated seconds from leaving ``healthy`` to returning) is sampled on
+each full recovery and surfaced in the resilience telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["HEALTH_STATES", "HealthConfig", "MemberHealth"]
+
+HEALTH_STATES = ("healthy", "suspect", "quarantined", "reintegrating")
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Circuit-breaker thresholds and probe policy (simulated seconds)."""
+
+    window_s: float = 2e-2           #: sliding fault window width
+    suspect_after: int = 1           #: faults in window: healthy -> suspect
+    quarantine_after: int = 3        #: faults in window: -> quarantined
+    suspect_holdoff_s: float = 5e-3  #: suspect rest before next launch
+    probe_delay_s: float = 2e-3      #: drained-quarantine rest before canary
+    probe_interval_s: float = 1e-3   #: drain poll / inter-canary spacing
+    canary_passes: int = 2           #: consecutive clean canaries required
+    canary_nx: int = 32              #: canary solve width
+    canary_ny: int = 32              #: canary solve height
+    canary_iterations: int = 8       #: canary solve iterations
+    reintegrate_successes: int = 2   #: clean launches to return healthy
+
+    def __post_init__(self):
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.suspect_after < 1:
+            raise ValueError("suspect_after must be at least 1")
+        if self.quarantine_after < self.suspect_after:
+            raise ValueError("quarantine_after must be >= suspect_after")
+        if min(self.suspect_holdoff_s, self.probe_delay_s,
+               self.probe_interval_s) < 0:
+            raise ValueError("holdoff/probe delays must be non-negative")
+        if self.canary_passes < 1 or self.reintegrate_successes < 1:
+            raise ValueError("canary_passes and reintegrate_successes "
+                             "must be at least 1")
+        if min(self.canary_nx, self.canary_ny,
+               self.canary_iterations) < 1:
+            raise ValueError("canary solve shape must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import fields
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "HealthConfig":
+        return cls(**doc)
+
+
+class MemberHealth:
+    """The breaker state for one pool member.
+
+    ``note_fault`` / ``note_success`` / ``to_reintegrating`` return the
+    ``(from, to)`` transition they caused (or ``None``), so the service
+    can record every transition on the :class:`FaultTrace` and count it.
+    """
+
+    def __init__(self, cfg: Optional[HealthConfig] = None,
+                 name: str = "member"):
+        self.cfg = cfg or HealthConfig()
+        self.name = name
+        self.state = "healthy"
+        self.held_until = 0.0        #: suspect holdoff expiry
+        self.epoch = 0               #: bumped on each quarantine entry
+        self.clean_streak = 0        #: consecutive clean launches
+        self.left_healthy_at: Optional[float] = None
+        self.total_faults = 0
+        self.transitions: Dict[str, int] = {}
+        self.mttr_samples: List[float] = []
+        self._window: List[float] = []   #: fault times inside window_s
+
+    # -- queries -----------------------------------------------------------
+    def accepts(self, now: float) -> bool:
+        """Whether the member may take tenant work right now."""
+        if self.state == "quarantined":
+            return False
+        if self.state == "suspect":
+            return now >= self.held_until
+        return True
+
+    def rank(self) -> int:
+        """Selection order: healthy first, then reintegrating, suspect."""
+        return {"healthy": 0, "reintegrating": 1,
+                "suspect": 2, "quarantined": 3}[self.state]
+
+    def window_count(self, now: float) -> int:
+        self._prune(now)
+        return len(self._window)
+
+    # -- events ------------------------------------------------------------
+    def note_fault(self, now: float,
+                   kind: str) -> Optional[Tuple[str, str]]:
+        """Fold one fault event in; returns the transition, if any."""
+        self.total_faults += 1
+        self._prune(now)
+        self._window.append(now)
+        self.clean_streak = 0
+        if self.state == "reintegrating":
+            # Zero tolerance while on probation.
+            return self._move("quarantined", now)
+        if self.state == "quarantined":
+            return None                  # canary failure: stay put
+        n = len(self._window)
+        if n >= self.cfg.quarantine_after:
+            return self._move("quarantined", now)
+        if n >= self.cfg.suspect_after:
+            self.held_until = now + self.cfg.suspect_holdoff_s
+            if self.state == "healthy":
+                return self._move("suspect", now)
+        return None
+
+    def note_success(self, now: float) -> Optional[Tuple[str, str]]:
+        """One clean launch finished; may complete reintegration."""
+        self.clean_streak += 1
+        if self.state == "suspect" and self.window_count(now) == 0:
+            return self._move("healthy", now)
+        if self.state == "reintegrating" \
+                and self.clean_streak >= self.cfg.reintegrate_successes:
+            return self._move("healthy", now)
+        return None
+
+    def to_reintegrating(self, now: float) -> Optional[Tuple[str, str]]:
+        """Canary probes passed: quarantined -> reintegrating."""
+        if self.state != "quarantined":
+            return None
+        self.clean_streak = 0
+        self._window.clear()
+        return self._move("reintegrating", now)
+
+    # -- internals ---------------------------------------------------------
+    def _prune(self, now: float) -> None:
+        cut = now - self.cfg.window_s
+        self._window = [t for t in self._window if t > cut]
+
+    def _move(self, to: str, now: float) -> Tuple[str, str]:
+        frm = self.state
+        self.state = to
+        key = f"{frm}->{to}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        if frm == "healthy":
+            self.left_healthy_at = now
+        if to == "quarantined":
+            self.epoch += 1
+        if to == "healthy" and self.left_healthy_at is not None:
+            self.mttr_samples.append(now - self.left_healthy_at)
+            self.left_healthy_at = None
+        return (frm, to)
+
+    def to_doc(self) -> Dict[str, object]:
+        """Canonical per-member resilience summary for the report."""
+        return {
+            "state": self.state,
+            "faults": self.total_faults,
+            "transitions": dict(sorted(self.transitions.items())),
+            "mttr_s": [round(s, 9) for s in self.mttr_samples],
+        }

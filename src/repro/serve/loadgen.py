@@ -27,6 +27,8 @@ from dataclasses import dataclass, fields, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+from repro.serve.chaos import ChaosConfig, build_chaos
+from repro.serve.health import HealthConfig
 from repro.serve.pool import (PoolConfig, ServeHang, best_case_service_s,
                               generate_hangs)
 from repro.serve.request import AdmissionError, SolveRequest
@@ -162,12 +164,16 @@ def _client(sim: Simulator, service: SolveService,
 
 def _service_config_doc(loadgen: Optional[LoadGenConfig],
                         scheduler: SchedulerConfig, pool: PoolConfig,
-                        hangs: Sequence[ServeHang]) -> dict:
+                        hangs: Sequence[ServeHang],
+                        chaos: Optional[ChaosConfig] = None,
+                        health: Optional[HealthConfig] = None) -> dict:
     doc = {
         "scheduler": {f.name: getattr(scheduler, f.name)
                       for f in fields(scheduler)},
         "pool": {f.name: getattr(pool, f.name) for f in fields(pool)},
         "hangs": [[h.device_id, h.launch_index] for h in hangs],
+        "chaos": chaos.to_dict() if chaos is not None else None,
+        "health": health.to_dict() if health is not None else None,
     }
     doc["pool"]["grid"] = list(pool.grid)
     if loadgen is not None:
@@ -185,7 +191,8 @@ def _finish(sim: Simulator, service: SolveService, config: dict,
             outcomes, jobs=jobs, cache=cache, progress=progress)
     return ServeReport(config=config, duration_s=sim.now,
                        outcomes=outcomes, metrics=service.metrics,
-                       utilization=service.utilization(), solves=solves)
+                       utilization=service.utilization(), solves=solves,
+                       resilience=service.resilience_doc())
 
 
 def run_loadgen(cfg: LoadGenConfig,
@@ -195,19 +202,28 @@ def run_loadgen(cfg: LoadGenConfig,
                 costs: CostModel = DEFAULT_COSTS,
                 solve: bool = True,
                 jobs: Optional[int] = None, cache=None,
-                progress=None) -> ServeReport:
+                progress=None,
+                chaos: Optional[ChaosConfig] = None,
+                health: Optional[HealthConfig] = None) -> ServeReport:
     """Run one seeded load test end to end; returns its report.
 
     ``n_hangs`` arms a deterministic hang plan drawn from the same seed
     (:func:`~repro.serve.pool.generate_hangs`), exercising the watchdog /
-    retry / degrade path under load.
+    retry / degrade path under load.  ``chaos`` additionally arms one
+    full per-device :class:`~repro.faults.plan.FaultPlan`
+    (:func:`~repro.serve.chaos.build_chaos`) — NoC, ECC, hangs, SDC,
+    core failures — and ``health`` tunes the member breaker; both are
+    recorded in the trace header so replays rebuild them exactly.
     """
     scheduler = scheduler or SchedulerConfig()
     pool = pool or PoolConfig()
     hangs = generate_hangs(cfg.seed, n_hangs, pool.n_devices) \
         if n_hangs else ()
+    plan = build_chaos(chaos, pool.n_devices, pool.grid) \
+        if chaos is not None else None
     sim = Simulator()
-    service = SolveService(sim, scheduler, pool, hangs, costs)
+    service = SolveService(sim, scheduler, pool, hangs, costs,
+                           chaos=plan, health=health)
     reqs = synthesize_requests(cfg, pool, costs, scheduler.n_priorities)
     if cfg.mode == "open":
         gap_rng = _derived_rng(cfg.seed, 2)
@@ -227,7 +243,8 @@ def run_loadgen(cfg: LoadGenConfig,
                                 cfg.think_s),
                         name=f"serve.client{cid}")
     sim.run()
-    config = _service_config_doc(cfg, scheduler, pool, hangs)
+    config = _service_config_doc(cfg, scheduler, pool, hangs,
+                                 chaos=chaos, health=health)
     return _finish(sim, service, config, solve, jobs, cache, progress)
 
 
@@ -285,8 +302,15 @@ def replay_trace(path: str, solve: bool = True,
     pool = PoolConfig(**pool_doc)
     hangs = tuple(ServeHang(device_id=d, launch_index=i)
                   for d, i in config.get("hangs", []))
+    chaos_doc = config.get("chaos")
+    chaos = ChaosConfig.from_dict(chaos_doc) if chaos_doc else None
+    health_doc = config.get("health")
+    health = HealthConfig.from_dict(health_doc) if health_doc else None
+    plan = build_chaos(chaos, pool.n_devices, pool.grid) \
+        if chaos is not None else None
     sim = Simulator()
-    service = SolveService(sim, scheduler, pool, hangs, costs)
+    service = SolveService(sim, scheduler, pool, hangs, costs,
+                           chaos=plan, health=health)
     sim.process(_timed_arrivals(sim, service, arrivals),
                 name="serve.replay")
     sim.run()

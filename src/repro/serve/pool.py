@@ -9,13 +9,20 @@ CPU), plus a PCIe launch overhead per batch, so a pool member's busy
 interval is exactly the simulated time the one-shot runners would
 report for the same work.
 
-Faults reuse the :mod:`repro.faults` resilience vocabulary: a
-:class:`ServeHang` wedges the *n*-th launch on one member, the per-launch
-watchdog converts it into a
+Faults reuse the :mod:`repro.faults` resilience vocabulary two ways: a
+:class:`ServeHang` wedges the *n*-th launch on one member (the legacy
+index-keyed plan), and a per-device
+:class:`~repro.faults.plan.FaultPlan` (built by
+:func:`repro.serve.chaos.build_chaos`) arms NoC delays/drops, ECC
+scrubs, timed kernel hangs, in-flight SDC and mid-launch core failures.
+The per-launch watchdog converts hangs into a
 :class:`~repro.ttmetal.host.DeviceHangError` carrying a per-core stall
 report, and the service retries the victims on another member (or
 degrades them to the CPU backend) — recorded on a
-:class:`~repro.analysis.resilience.FaultTrace`, never dropped.
+:class:`~repro.analysis.resilience.FaultTrace`, never dropped.  Each
+device also carries a :class:`~repro.serve.health.MemberHealth` breaker
+that decides, from the member's recent fault history, whether it may
+accept work at all.
 """
 
 from __future__ import annotations
@@ -24,9 +31,11 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.plan import CoreFailure, FaultPlan, SolverBitFlip
 from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
 from repro.perfmodel.cpumodel import XeonModel
 from repro.perfmodel.scaling import JacobiScalingModel
+from repro.serve.health import HealthConfig, MemberHealth
 from repro.serve.request import SolveRequest
 from repro.ttmetal.host import CoreStall, DeviceHangError
 
@@ -85,8 +94,13 @@ class PoolConfig:
     cpu_threads: int = 24            #: threads per CPU worker slot
     grid: Tuple[int, int] = (12, 9)  #: worker-core grid per device
     watchdog_factor: float = 4.0     #: timeout = factor x expected service
-    max_retries: int = 1             #: device retries before CPU degrade
-    hang_cooldown_s: float = 5e-3    #: suspect device rest after a hang
+    max_retries: int = 1             #: per-request retry budget
+    hang_cooldown_s: float = 5e-3    #: suspect holdoff (health breaker)
+    retry_backoff_s: float = 5e-4    #: base of the 2^k retry backoff
+    scrub_stall_s: float = 5e-5      #: launch stall per ECC scrub
+    noc_drop_penalty_s: float = 2e-4 #: retransmit cost of a NoC drop
+    restart_overhead_s: float = 5e-4 #: checkpoint-restart fixed cost
+    checkpoint_every: int = 8        #: iterations between serve checkpoints
 
     def __post_init__(self):
         if self.n_devices < 0 or self.n_cpu_workers < 0:
@@ -97,6 +111,11 @@ class PoolConfig:
             raise ValueError("watchdog_factor must exceed 1")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if min(self.retry_backoff_s, self.scrub_stall_s,
+               self.noc_drop_penalty_s, self.restart_overhead_s) < 0:
+            raise ValueError("fault-handling costs must be non-negative")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
 
 
 # --------------------------------------------------------------------------
@@ -158,10 +177,9 @@ class _Member:
         self.busy = False
         self.busy_s = 0.0            #: accumulated service time
         self.launches = 0
-        self.cooldown_until = 0.0    #: unavailable (suspect) before this
 
     def available(self, now: float) -> bool:
-        return not self.busy and now >= self.cooldown_until
+        return not self.busy
 
     def utilization(self, horizon_s: float) -> float:
         if horizon_s <= 0:
@@ -170,23 +188,89 @@ class _Member:
 
 
 class DeviceMember(_Member):
-    """One pooled e150: a core grid plus a hang plan."""
+    """One pooled e150: core grid, fault plans, and a health breaker.
+
+    Availability is delegated to :class:`MemberHealth`: a quarantined
+    member never accepts tenant work, a suspect one rests through its
+    holdoff first.  The chaos :class:`FaultPlan` is consumed as the
+    service launches work — timed faults (NoC, ECC, timed hangs) fire
+    on the next launch starting at or after their ``t``, index-keyed
+    faults (SDC, core failures) on the matching per-device launch.
+    """
 
     def __init__(self, device_id: int, grid: Tuple[int, int],
-                 hangs: Sequence[ServeHang] = ()):
+                 hangs: Sequence[ServeHang] = (),
+                 chaos: Optional[FaultPlan] = None,
+                 health: Optional[HealthConfig] = None):
         super().__init__(f"e150-{device_id}")
         self.device_id = device_id
         self.grid = grid
+        self.health = MemberHealth(health, self.name)
+        self.failed_cores = 0
         self._hang_at = {h.launch_index for h in hangs
                          if h.device_id == device_id}
+        #: timed faults, consumed in t order at launch starts
+        self._timed: List[Tuple[float, str, object]] = []
+        self._timed_hangs: List[float] = []
+        #: launch-index-keyed faults
+        self._sdc_at: Dict[int, List[SolverBitFlip]] = {}
+        self._fail_at: Dict[int, List[CoreFailure]] = {}
+        if chaos is not None:
+            for noc in chaos.noc:
+                self._timed.append((noc.t, "noc", noc))
+            for flip in chaos.dram:
+                self._timed.append((flip.t, "ecc", flip))
+            self._timed.sort(key=lambda e: e[0])
+            self._timed_hangs = sorted(h.t for h in chaos.hangs)
+            for flip in chaos.solver:
+                self._sdc_at.setdefault(flip.iteration, []).append(flip)
+            for death in chaos.core_failures:
+                self._fail_at.setdefault(death.iteration, []).append(death)
 
     @property
     def n_cores(self) -> int:
         return self.grid[0] * self.grid[1]
 
+    def available(self, now: float) -> bool:
+        return not self.busy and self.health.accepts(now)
+
+    def capacity_factor(self) -> float:
+        """Service-time multiplier after core failures (remapped set)."""
+        alive = max(1, self.n_cores - self.failed_cores)
+        return self.n_cores / alive
+
+    def fail_core(self) -> None:
+        if self.failed_cores < self.n_cores - 1:
+            self.failed_cores += 1
+
+    # -- fault-plan consumption -------------------------------------------
     def next_launch_hangs(self) -> bool:
-        """Whether the launch about to start is wedged by the fault plan."""
+        """Whether the launch about to start is wedged by the hang plan."""
         return self.launches in self._hang_at
+
+    def take_hang(self, now: float, launch_index: int) -> bool:
+        """Consume a hang wedging the launch starting now (if armed)."""
+        if launch_index in self._hang_at:
+            self._hang_at.discard(launch_index)
+            return True
+        if self._timed_hangs and self._timed_hangs[0] <= now:
+            self._timed_hangs.pop(0)
+            return True
+        return False
+
+    def take_timed(self, now: float) -> List[Tuple[str, object]]:
+        """Consume every pending NoC/ECC fault with ``t <= now``."""
+        out: List[Tuple[str, object]] = []
+        while self._timed and self._timed[0][0] <= now:
+            _t, kind, fault = self._timed.pop(0)
+            out.append((kind, fault))
+        return out
+
+    def take_sdc(self, launch_index: int) -> List[SolverBitFlip]:
+        return self._sdc_at.pop(launch_index, [])
+
+    def take_core_failures(self, launch_index: int) -> List[CoreFailure]:
+        return self._fail_at.pop(launch_index, [])
 
     def hang_error(self, t: float, timeout_s: float) -> DeviceHangError:
         """The watchdog report for a wedged launch, in the host vocabulary."""
@@ -208,16 +292,23 @@ class CpuWorker(_Member):
 class WorkerPool:
     """All pool members, with deterministic selection order."""
 
-    def __init__(self, cfg: PoolConfig, hangs: Sequence[ServeHang] = ()):
+    def __init__(self, cfg: PoolConfig, hangs: Sequence[ServeHang] = (),
+                 chaos=None, health: Optional[HealthConfig] = None):
         self.cfg = cfg
-        self.devices = [DeviceMember(i, cfg.grid, hangs)
-                        for i in range(cfg.n_devices)]
+        plans = getattr(chaos, "plans", None)
+        self.devices = [
+            DeviceMember(i, cfg.grid, hangs,
+                         chaos=plans[i] if plans else None,
+                         health=health)
+            for i in range(cfg.n_devices)]
         self.cpus = [CpuWorker(i, cfg.cpu_threads)
                      for i in range(cfg.n_cpu_workers)]
 
     def free_device(self, now: float) -> Optional[DeviceMember]:
-        """Lowest-id available device — deterministic tie-breaking."""
-        for dev in self.devices:
+        """Best available device: healthiest rank first, then lowest id."""
+        ranked = sorted(self.devices,
+                        key=lambda d: (d.health.rank(), d.device_id))
+        for dev in ranked:
             if dev.available(now):
                 return dev
         return None

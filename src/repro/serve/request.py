@@ -131,7 +131,10 @@ class RequestOutcome:
     All times are simulated seconds; ``status`` is ``"completed"``,
     ``"degraded"`` (completed, but on the CPU after the device path kept
     failing) or ``"shed"``.  A shed outcome still carries the request —
-    nothing is ever silently dropped.
+    nothing is ever silently dropped.  ``sdc_detected`` counts corrupted
+    readbacks the serve path caught for this request (each was retried
+    or ended in a typed shed — never returned), and ``restarts`` counts
+    mid-launch checkpoint/restarts (core failures) it rode through.
     """
 
     request: SolveRequest
@@ -147,6 +150,8 @@ class RequestOutcome:
     retries: int
     shed_reason: Optional[str] = None
     solve_key: Optional[str] = None  #: functional-result key (post-pass)
+    sdc_detected: int = 0            #: corrupted readbacks caught
+    restarts: int = 0                #: checkpoint/restarts ridden through
 
     @property
     def wait_s(self) -> Optional[float]:

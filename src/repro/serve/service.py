@@ -2,11 +2,12 @@
 
 :class:`SolveService` multiplexes :class:`~repro.serve.request.SolveRequest`
 streams over a :class:`~repro.serve.pool.WorkerPool`.  Everything —
-arrivals, queueing, batching, launches, hangs, retries — happens in
-*simulated* time on one :class:`~repro.sim.engine.Simulator`, so a full
-load test is a deterministic discrete-event simulation: byte-identical
-across repeat runs and across ``-j`` settings (worker processes are only
-used by the functional post-pass, which reassembles in submission order).
+arrivals, queueing, batching, launches, faults, retries, health
+transitions — happens in *simulated* time on one
+:class:`~repro.sim.engine.Simulator`, so a full load test is a
+deterministic discrete-event simulation: byte-identical across repeat
+runs and across ``-j`` settings (worker processes are only used by the
+functional post-pass, which reassembles in submission order).
 
 Life of a request::
 
@@ -17,14 +18,29 @@ Life of a request::
             one multi-core launch (scheduler.plan_batch / split_domain),
             or hands CPU-backend requests to a CPU worker
                └─> launch occupies the pool member for the modelled
-                   service time; requests complete as their core slices
-                   finish
-                      └─> a hang (ServeHang plan) trips the per-launch
-                          watchdog instead: DeviceHangError, victims are
-                          re-queued at the head of their class (retry on
-                          another member) or degraded to the CPU backend
-                          after ``max_retries`` — each step recorded on
-                          the FaultTrace.
+                   service time; chaos faults stretch it (NoC, ECC
+                   scrubs) or checkpoint/restart it on a remapped core
+                   set (core failures); requests complete as their core
+                   slices finish
+                      └─> a hang trips the per-launch watchdog; a
+                          detected-SDC readback discards the corrupted
+                          answer — either way the victims retry under a
+                          per-request budget with deterministic
+                          exponential backoff, degrade to the CPU
+                          backend, or shed with a typed reason.  Every
+                          fault feeds the member's health breaker
+                          (healthy → suspect → quarantined →
+                          reintegrating); quarantined members are
+                          drained, canary-probed and reintegrated.
+                          Each step is recorded on the FaultTrace.
+
+Deadline semantics: a queued request whose absolute deadline passes is
+shed ``deadline_expired``.  A *first* attempt in flight at its deadline
+runs to completion (reported with ``deadline_met == False``); a *retry*
+in flight at its deadline is abandoned — the launch finishes and its
+result is discarded loudly (``abandoned_launches`` counter + trace
+record), and the request's single terminal outcome is the
+``deadline_expired`` shed.
 """
 
 from __future__ import annotations
@@ -32,6 +48,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
+from repro.serve.health import HealthConfig
 from repro.serve.pool import (CpuWorker, DeviceMember, PoolConfig, ServeHang,
                               WorkerPool, best_case_service_s,
                               cpu_service_time, device_service_time,
@@ -55,7 +72,7 @@ class _RequestState:
     """
 
     __slots__ = ("request", "submit_s", "deadline_abs", "retries",
-                 "degraded", "done")
+                 "degraded", "done", "sdc_detected", "restarts")
 
     def __init__(self, request: SolveRequest, submit_s: float,
                  deadline_abs: Optional[float], done: Event):
@@ -65,6 +82,12 @@ class _RequestState:
         self.retries = 0
         self.degraded = False
         self.done = done
+        self.sdc_detected = 0
+        self.restarts = 0
+
+
+#: fraction of a launch elapsed when a planned core failure strikes.
+_STRIKE_FRACTION = 0.5
 
 
 class SolveService:
@@ -74,13 +97,19 @@ class SolveService:
                  scheduler: Optional[SchedulerConfig] = None,
                  pool: Optional[PoolConfig] = None,
                  hangs: Sequence[ServeHang] = (),
-                 costs: CostModel = DEFAULT_COSTS):
+                 costs: CostModel = DEFAULT_COSTS,
+                 chaos=None,
+                 health: Optional[HealthConfig] = None):
         self.sim = sim
         self.scheduler_cfg = scheduler or SchedulerConfig()
         self.pool_cfg = pool or PoolConfig()
         self.costs = costs
+        self.health_cfg = health or HealthConfig(
+            suspect_holdoff_s=self.pool_cfg.hang_cooldown_s)
+        self.chaos = chaos           #: ChaosPlan or None
         self.queue = BoundedPriorityQueue(self.scheduler_cfg)
-        self.pool = WorkerPool(self.pool_cfg, hangs)
+        self.pool = WorkerPool(self.pool_cfg, hangs, chaos=chaos,
+                               health=self.health_cfg)
         self.metrics = ServeMetrics()
         self.outcomes: List[RequestOutcome] = []
         self._states: Dict[int, _RequestState] = {}
@@ -186,19 +215,9 @@ class SolveService:
             limit=self.scheduler_cfg.queue_capacity
             * self.scheduler_cfg.n_priorities)
         for req in expired:
-            state = self._states.pop(req.rid)
-            self.metrics.bump("shed")
-            self.metrics.bump("shed.deadline_expired")
-            self.metrics.trace.record(now, "serve.deadline",
-                                      f"req{req.rid}", "shed", "expired")
-            outcome = RequestOutcome(
-                request=state.request, status="shed", backend_used=None,
-                worker=None, cores=None, batch_id=None, batch_size=0,
-                submit_s=state.submit_s, start_s=None, finish_s=None,
-                retries=state.retries, shed_reason="deadline_expired")
-            self.outcomes.append(outcome)
-            state.done.fail(AdmissionError("deadline_expired",
-                                           f"req{req.rid}"))
+            state = self._states[req.rid]
+            self._terminal_shed(state, "deadline_expired",
+                               f"req{req.rid}", "expired-in-queue")
 
     def _form_device_batch(self, dev: DeviceMember) -> Optional[BatchPlan]:
         head = self.queue.pop_where(
@@ -247,34 +266,113 @@ class SolveService:
         self.sim.process(self._run_device(dev, plan, batch_id),
                          name=f"serve.{dev.name}.batch{batch_id}")
 
+    def _consume_timed(self, dev: DeviceMember, t0: float) -> float:
+        """Fold pending NoC/ECC faults into a launch-start stretch."""
+        stretch = 0.0
+        for kind, fault in dev.take_timed(t0):
+            if kind == "noc":
+                extra = fault.delay_s if fault.kind == "delay" \
+                    else self.pool_cfg.noc_drop_penalty_s
+                self.metrics.bump(f"chaos.noc.{fault.kind}")
+                self.metrics.attribute(f"noc.{fault.kind}", extra)
+                self.metrics.trace.record(
+                    t0, f"noc.{fault.kind}", f"{dev.name}.noc{fault.noc_id}",
+                    "consumed", f"stretch={extra:.6g}s")
+                if fault.kind == "drop":
+                    # A drop means retransmits — breaker-relevant.
+                    self._note_fault(dev, "noc.drop")
+            else:
+                extra = self.pool_cfg.scrub_stall_s
+                self.metrics.bump("chaos.ecc.scrub")
+                self.metrics.attribute("dram.ecc", extra)
+                self.metrics.trace.record(
+                    t0, "dram.bitflip",
+                    f"{dev.name}.bank{fault.bank_id}+0x{fault.addr:x}",
+                    "corrected", f"ecc-scrub stall={extra:.6g}s")
+            stretch += extra
+        return stretch
+
     def _run_device(self, dev: DeviceMember, plan: BatchPlan,
                     batch_id: int):
         t0 = self.sim.now
-        overhead = launch_overhead_s(plan.requests, self.costs)
-        times = [overhead + device_service_time(req, cy, cx, self.costs)
-                 for req, (cy, cx) in zip(plan.requests, plan.allocations)]
-        expected = max(times)
-        hang = dev.next_launch_hangs()
         launch_index = dev.launches
         dev.launches += 1
+        overhead = launch_overhead_s(plan.requests, self.costs)
+        factor = dev.capacity_factor()
+        times = [(overhead + device_service_time(req, cy, cx, self.costs))
+                 * factor
+                 for req, (cy, cx) in zip(plan.requests, plan.allocations)]
+        faulted = False
 
-        if hang:
+        stretch = self._consume_timed(dev, t0)
+        if stretch:
+            times = [t + stretch for t in times]
+
+        # Core failures striking mid-launch: the launch restarts from the
+        # last checkpoint on a remapped (smaller) core set; later
+        # launches on this member run at the degraded capacity.
+        restarts = 0
+        for death in dev.take_core_failures(launch_index):
+            before = max(times)
+            old_factor = dev.capacity_factor()
+            dev.fail_core()
+            ratio = dev.capacity_factor() / old_factor
+            ckpt = self.pool_cfg.checkpoint_every
+            new_times = []
+            for req, t_full in zip(plan.requests, times):
+                iters = req.effective_iterations
+                done_iters = (int(_STRIKE_FRACTION * iters)
+                              // ckpt) * ckpt
+                redo = 1.0 - done_iters / iters
+                new_times.append(_STRIKE_FRACTION * t_full
+                                 + self.pool_cfg.restart_overhead_s
+                                 + redo * t_full * ratio)
+            times = new_times
+            restarts += 1
+            faulted = True
+            self.metrics.bump("chaos.core_failure")
+            self.metrics.bump("restarts")
+            self.metrics.attribute("core.failure", max(times) - before)
+            self.metrics.trace.record(
+                t0, "core.failure",
+                f"{dev.name}.core({death.iy},{death.ix})", "injected",
+                f"launch{launch_index}")
+            self.metrics.trace.record(
+                t0, "core.failure", f"{dev.name}.launch{launch_index}",
+                "remapped",
+                f"checkpoint-restart.{dev.failed_cores}core(s)-out")
+            self._note_fault(dev, "core_failure")
+            for req in plan.requests:
+                state = self._states.get(req.rid)
+                if state is not None:
+                    state.restarts += 1
+
+        expected = max(times)
+        if dev.take_hang(t0, launch_index):
             timeout_s = self.pool_cfg.watchdog_factor * expected
             yield self.sim.timeout(timeout_s)
             err = dev.hang_error(t0, timeout_s)
             dev.busy_s += timeout_s
             dev.busy = False
-            dev.cooldown_until = self.sim.now + self.pool_cfg.hang_cooldown_s
-            self._wake_at(dev.cooldown_until)
             self.metrics.bump("hangs")
+            self.metrics.attribute("hang", timeout_s)
             self.metrics.trace.record(
                 self.sim.now, "serve.hang",
                 f"{dev.name}.launch{launch_index}", "detected",
                 f"watchdog@{timeout_s:.6g}s.{len(err.stalls)}stall(s)")
+            self._note_fault(dev, "hang")
             for req in plan.requests:
-                self._retry_or_degrade(req, dev)
+                self._retry_or_degrade(req, dev, why="hang")
             self._wake()
             return
+
+        # SDC armed for this launch: the flip lands in one request's
+        # slice and is caught at readback by the range check (the plan
+        # targets the detectable exponent bit — see faults.plan).
+        victims: Dict[int, int] = {}
+        for flip in dev.take_sdc(launch_index):
+            i = flip.row % len(plan)
+            victims[i] = victims.get(i, 0) + 1
 
         # Requests complete as their core slices finish (staggered); the
         # member frees when the slowest slice does.
@@ -285,63 +383,271 @@ class SolveService:
                 yield self.sim.timeout(times[i] - elapsed)
                 elapsed = times[i]
             req = plan.requests[i]
-            self._complete(req, worker=dev.name, backend_used="device",
-                           cores=plan.allocations[i], batch_id=batch_id,
-                           batch_size=len(plan), start_s=t0)
+            if i in victims:
+                hits = victims[i]
+                faulted = True
+                self.metrics.bump("sdc.injected", by=hits)
+                self.metrics.bump("sdc.detected", by=hits)
+                where = f"req{req.rid}@{dev.name}.launch{launch_index}"
+                self.metrics.trace.record(self.sim.now, "solver.sdc",
+                                          where, "injected",
+                                          f"{hits}flip(s).bit14")
+                self.metrics.trace.record(self.sim.now, "solver.sdc",
+                                          where, "detected",
+                                          "range-check@readback")
+                state = self._states.get(req.rid)
+                if state is not None:
+                    state.sdc_detected += hits
+                self._note_fault(dev, "sdc")
+                self._retry_or_degrade(req, dev, why="sdc")
+            else:
+                self._complete(req, worker=dev.name, backend_used="device",
+                               cores=plan.allocations[i], batch_id=batch_id,
+                               batch_size=len(plan), start_s=t0)
         if expected > elapsed:
             yield self.sim.timeout(expected - elapsed)
         dev.busy_s += expected
         dev.busy = False
+        if not faulted:
+            self._note_success(dev)
         self._wake()
 
-    def _retry_or_degrade(self, req: SolveRequest,
-                          dev: DeviceMember) -> None:
-        state = self._states[req.rid]
-        state.retries += 1
+    # -- health lifecycle --------------------------------------------------
+    def _note_fault(self, dev: DeviceMember, kind: str) -> None:
+        """Feed the member's breaker; record and act on transitions."""
+        now = self.sim.now
+        transition = dev.health.note_fault(now, kind)
+        if dev.health.state == "suspect":
+            # Every fault extends the holdoff — schedule the wake even
+            # without a transition, or a queue with every member resting
+            # would starve (no other event would rouse the dispatcher).
+            self._wake_at(dev.health.held_until)
+        if transition is None:
+            return
+        frm, to = transition
+        self.metrics.bump(f"health.{frm}->{to}")
+        self.metrics.trace.record(now, "health.transition", dev.name, to,
+                                  f"from={frm}.{kind}")
+        if to == "quarantined":
+            self.sim.process(
+                self._probe_quarantined(dev, dev.health.epoch),
+                name=f"serve.canary.{dev.name}.e{dev.health.epoch}")
+
+    def _note_success(self, dev: DeviceMember) -> None:
+        transition = dev.health.note_success(self.sim.now)
+        if transition is None:
+            return
+        frm, to = transition
+        self.metrics.bump(f"health.{frm}->{to}")
+        detail = f"from={frm}.clean"
+        if to == "healthy" and dev.health.mttr_samples:
+            detail += f".mttr={dev.health.mttr_samples[-1]:.6g}s"
+        self.metrics.trace.record(self.sim.now, "health.transition",
+                                  dev.name, to, detail)
+
+    def _canary_service_s(self, dev: DeviceMember) -> float:
+        cfg = self.health_cfg
+        canary = SolveRequest(rid=0, nx=cfg.canary_nx, ny=cfg.canary_ny,
+                              iterations=cfg.canary_iterations)
+        cy = max(1, min(dev.grid[0], canary.ny))
+        cx = max(1, min(dev.grid[1], canary.nx))
+        return (launch_overhead_s([canary], self.costs)
+                + device_service_time(canary, cy, cx, self.costs)) \
+            * dev.capacity_factor()
+
+    def _probe_quarantined(self, dev: DeviceMember, epoch: int):
+        """Drain a quarantined member, canary-probe it, reintegrate it.
+
+        Canary launches consume the member's armed faults exactly like
+        tenant launches would — so a wedged or corrupting member fails
+        its probes (and stays quarantined) until the fault plan drains.
+        """
+        h = dev.health
+        cfg = self.health_cfg
+        while dev.busy:                       # drain the in-flight launch
+            yield self.sim.timeout(cfg.probe_interval_s)
+        yield self.sim.timeout(cfg.probe_delay_s)
+        passes = 0
+        while h.state == "quarantined" and h.epoch == epoch:
+            launch_index = dev.launches
+            dev.launches += 1
+            dev.busy = True
+            t0 = self.sim.now
+            self.metrics.bump("canary.run")
+            canary_s = self._canary_service_s(dev) \
+                + self._consume_timed(dev, t0)
+            hang = dev.take_hang(t0, launch_index)
+            sdc = dev.take_sdc(launch_index)
+            if hang:
+                timeout_s = self.pool_cfg.watchdog_factor * canary_s
+                yield self.sim.timeout(timeout_s)
+                dev.busy_s += timeout_s
+                failed, why = True, "hang"
+                self.metrics.attribute("hang", timeout_s)
+            else:
+                yield self.sim.timeout(canary_s)
+                dev.busy_s += canary_s
+                failed, why = bool(sdc), "sdc"
+            dev.busy = False
+            where = f"{dev.name}.launch{launch_index}"
+            if failed:
+                passes = 0
+                self.metrics.bump("canary.failed")
+                h.note_fault(self.sim.now, f"canary.{why}")
+                self.metrics.trace.record(self.sim.now, "serve.canary",
+                                          where, "failed", why)
+                yield self.sim.timeout(cfg.probe_delay_s)
+                continue
+            passes += 1
+            self.metrics.trace.record(self.sim.now, "serve.canary", where,
+                                      "passed",
+                                      f"{passes}/{cfg.canary_passes}")
+            if passes >= cfg.canary_passes:
+                transition = h.to_reintegrating(self.sim.now)
+                if transition is not None:
+                    frm, to = transition
+                    self.metrics.bump(f"health.{frm}->{to}")
+                    self.metrics.trace.record(
+                        self.sim.now, "health.transition", dev.name, to,
+                        f"from={frm}.canaries={cfg.canary_passes}")
+                self._wake()
+                return
+            yield self.sim.timeout(cfg.probe_interval_s)
+
+    # -- retries and terminal outcomes -------------------------------------
+    def _retry_or_degrade(self, req: SolveRequest, dev: DeviceMember,
+                          why: str = "hang") -> None:
+        state = self._states.get(req.rid)
+        now = self.sim.now
         where = f"req{req.rid}@{dev.name}"
+        if state is None:
+            # The request already reached a terminal outcome (deadline
+            # expired mid-launch); account the wasted work loudly.
+            self.metrics.bump("abandoned_launches")
+            self.metrics.trace.record(now, "serve.retry", where,
+                                      "abandoned", f"{why}.no-live-request")
+            return
+        if state.deadline_abs is not None and state.deadline_abs <= now:
+            self._terminal_shed(state, "deadline_expired", where,
+                               f"expired-mid-{why}")
+            return
+        state.retries += 1
         if state.retries <= self.pool_cfg.max_retries:
+            backoff = self.pool_cfg.retry_backoff_s \
+                * 2 ** (state.retries - 1)
             self.metrics.bump("retries")
-            self.metrics.trace.record(self.sim.now, "serve.hang", where,
-                                      "retried",
-                                      f"attempt{state.retries}")
-            self.queue.push_front(req)
+            self.metrics.attribute("retry_backoff", backoff)
+            self.metrics.trace.record(
+                now, "serve.hang" if why == "hang" else "solver.sdc",
+                where, "retried",
+                f"attempt{state.retries}.backoff={backoff:.6g}s")
+            self.sim.timeout(backoff).add_callback(
+                lambda _e, r=req: self._requeue(r))
         elif self.pool.cpus:
             # Counted once, at completion, via the "degraded" status.
+            self.metrics.bump("retry_budget.exhausted")
             state.degraded = True
-            self.metrics.trace.record(self.sim.now, "serve.hang", where,
+            self.metrics.trace.record(now, "serve.hang", where,
                                       "degraded", "to-cpu")
             self.queue.push_front(req.degraded())
         else:
             # No CPU fallback configured: report the loss loudly.
-            self.metrics.bump("shed")
-            self.metrics.bump("shed.retries_exhausted")
-            self.metrics.trace.record(self.sim.now, "serve.hang", where,
-                                      "shed", "retries_exhausted")
-            outcome = RequestOutcome(
-                request=state.request, status="shed", backend_used=None,
-                worker=None, cores=None, batch_id=None, batch_size=0,
-                submit_s=state.submit_s, start_s=None, finish_s=None,
-                retries=state.retries, shed_reason="retries_exhausted")
-            self.outcomes.append(outcome)
-            self._states.pop(req.rid)
-            state.done.fail(AdmissionError("retries_exhausted",
-                                           f"req{req.rid}"))
+            self.metrics.bump("retry_budget.exhausted")
+            self._terminal_shed(state, "retries_exhausted", where, why)
+
+    def _requeue(self, req: SolveRequest) -> None:
+        """Backoff elapsed: put the retry at the head of its class."""
+        state = self._states.get(req.rid)
+        if state is None:
+            return
+        now = self.sim.now
+        if state.deadline_abs is not None and state.deadline_abs <= now:
+            self._terminal_shed(state, "deadline_expired",
+                               f"req{req.rid}", "expired-in-backoff")
+            return
+        self.queue.push_front(req)
+        self._wake()
+
+    def _terminal_shed(self, state: _RequestState, reason: str,
+                       where: str, detail: str = "") -> None:
+        """The single terminal shed path: outcome + counter + trace."""
+        rid = state.request.rid
+        self._states.pop(rid, None)
+        now = self.sim.now
+        self.metrics.bump("shed")
+        self.metrics.bump(f"shed.{reason}")
+        kind = "serve.deadline" if reason == "deadline_expired" \
+            else "serve.shed"
+        self.metrics.trace.record(now, kind, where, "shed",
+                                  detail or reason)
+        self.outcomes.append(RequestOutcome(
+            request=state.request, status="shed", backend_used=None,
+            worker=None, cores=None, batch_id=None, batch_size=0,
+            submit_s=state.submit_s, start_s=None, finish_s=None,
+            retries=state.retries, shed_reason=reason,
+            sdc_detected=state.sdc_detected, restarts=state.restarts))
+        state.done.fail(AdmissionError(reason, f"req{rid}"))
 
     def _complete(self, req: SolveRequest, worker: str, backend_used: str,
                   cores, batch_id, batch_size: int, start_s: float) -> None:
-        state = self._states.pop(req.rid)
+        state = self._states.get(req.rid)
+        now = self.sim.now
+        if state is None:
+            # Terminal outcome already emitted; the launch ran to waste.
+            self.metrics.bump("abandoned_launches")
+            self.metrics.trace.record(
+                now, "serve.deadline", f"req{req.rid}@{worker}",
+                "abandoned", "launch-completed-after-terminal-outcome")
+            return
+        if state.retries > 0 and state.deadline_abs is not None \
+                and state.deadline_abs < now:
+            # Deadline expired mid-retry: exactly one terminal outcome
+            # (the shed below); the finished launch is accounted, its
+            # result discarded.
+            self.metrics.bump("abandoned_launches")
+            self.metrics.trace.record(
+                now, "serve.deadline", f"req{req.rid}@{worker}",
+                "abandoned", "retry-finished-after-deadline")
+            self._terminal_shed(state, "deadline_expired",
+                               f"req{req.rid}@{worker}", "expired-mid-retry")
+            return
+        self._states.pop(req.rid)
         status = "degraded" if state.degraded else "completed"
         self.metrics.bump(status)
         outcome = RequestOutcome(
             request=state.request, status=status, backend_used=backend_used,
             worker=worker, cores=cores, batch_id=batch_id,
             batch_size=batch_size, submit_s=state.submit_s,
-            start_s=start_s, finish_s=self.sim.now, retries=state.retries)
+            start_s=start_s, finish_s=now, retries=state.retries,
+            sdc_detected=state.sdc_detected, restarts=state.restarts)
         self.outcomes.append(outcome)
-        self.metrics.sample_depth(self.sim.now, len(self.queue))
+        self.metrics.sample_depth(now, len(self.queue))
         state.done.succeed(outcome)
 
     # -- reporting ---------------------------------------------------------
     def utilization(self, horizon_s: Optional[float] = None):
         horizon = self.sim.now if horizon_s is None else horizon_s
         return self.pool.utilization(horizon)
+
+    def resilience_doc(self) -> Dict[str, object]:
+        """Canonical resilience section of the report: health + MTTR +
+        fault-attributed latency."""
+        health = {dev.name: dev.health.to_doc()
+                  for dev in self.pool.devices}
+        for dev in self.pool.devices:
+            health[dev.name]["failed_cores"] = dev.failed_cores
+        mttr = [s for dev in self.pool.devices
+                for s in dev.health.mttr_samples]
+        fault_s = dict(sorted(
+            (k, round(v, 12)) for k, v in self.metrics.fault_s.items()))
+        return {
+            "health": health,
+            "mttr_mean_s": (round(sum(mttr) / len(mttr), 9)
+                            if mttr else None),
+            "fault_latency_s": fault_s,
+            "fault_latency_total_s": round(sum(fault_s.values()), 12),
+            "retry_budget_exhausted":
+                self.metrics.counters.get("retry_budget.exhausted", 0),
+            "abandoned_launches":
+                self.metrics.counters.get("abandoned_launches", 0),
+        }

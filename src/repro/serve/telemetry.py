@@ -29,7 +29,9 @@ __all__ = ["SERVE_SCHEMA", "ServeMetrics", "ServeReport",
            "render_serve_report"]
 
 #: schema tag of the JSON report; bump on incompatible layout changes.
-SERVE_SCHEMA = "repro-serve/1"
+#: /2 added the "resilience" section (health lifecycle, MTTR,
+#: fault-attributed latency) and the sdc/restart outcome columns.
+SERVE_SCHEMA = "repro-serve/2"
 
 
 @dataclass
@@ -39,9 +41,17 @@ class ServeMetrics:
     counters: Dict[str, int] = field(default_factory=dict)
     depth_samples: List[Tuple[float, int]] = field(default_factory=list)
     trace: FaultTrace = field(default_factory=FaultTrace)
+    #: simulated seconds of latency attributed to each fault kind
+    #: (watchdog waits, retry backoff, NoC stretches, ECC stalls,
+    #: checkpoint-restart penalties)
+    fault_s: Dict[str, float] = field(default_factory=dict)
 
     def bump(self, name: str, by: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + by
+
+    def attribute(self, kind: str, seconds: float) -> None:
+        """Charge ``seconds`` of simulated latency to fault ``kind``."""
+        self.fault_s[kind] = self.fault_s.get(kind, 0.0) + seconds
 
     def sample_depth(self, t: float, depth: int) -> None:
         self.depth_samples.append((t, depth))
@@ -76,6 +86,9 @@ class ServeReport:
     #: ``solves`` maps a solve key (unique problem/backend config) to its
     #: functional result (grid_sha, residual, interior range) computed
     #: through the repro.parallel post-pass.
+    resilience: Dict[str, object] = field(default_factory=dict)
+    #: health lifecycle + MTTR + fault-attributed latency
+    #: (:meth:`SolveService.resilience_doc`).
 
     # -- derived views -----------------------------------------------------
     def completed(self) -> List[RequestOutcome]:
@@ -133,6 +146,7 @@ class ServeReport:
             },
             "counters": counters,
             "utilization": dict(sorted(self.utilization.items())),
+            "resilience": _resilience_doc(self),
             "fault_trace": self.metrics.trace.to_text().splitlines(),
             "solves": {k: self.solves[k] for k in sorted(self.solves)},
             "outcomes": [_outcome_row(o) for o in self.outcomes],
@@ -145,6 +159,17 @@ class ServeReport:
     def write(self, path: str) -> None:
         with open(path, "w") as fh:
             fh.write(self.to_json_text())
+
+
+def _resilience_doc(report: "ServeReport") -> dict:
+    """The resilience section with derived shares, stable key order."""
+    doc = dict(report.resilience)
+    total = doc.get("fault_latency_total_s", 0.0) or 0.0
+    if report.duration_s > 0:
+        doc["fault_latency_share"] = round(total / report.duration_s, 9)
+    else:
+        doc["fault_latency_share"] = 0.0
+    return {k: doc[k] for k in sorted(doc)}
 
 
 def _outcome_row(o: RequestOutcome) -> dict:
@@ -164,6 +189,8 @@ def _outcome_row(o: RequestOutcome) -> dict:
         "shed_reason": o.shed_reason,
         "deadline_met": o.deadline_met,
         "solve_key": o.solve_key,
+        "sdc_detected": o.sdc_detected,
+        "restarts": o.restarts,
     }
 
 
@@ -195,6 +222,31 @@ def render_serve_report(report: ServeReport) -> str:
     for name, frac in sorted(report.utilization.items()):
         util.add_row(name, f"{frac:.4f}")
     parts = [table.render(), "", counters.render(), "", util.render()]
+    res = report.resilience
+    if res.get("health"):
+        health = Table(
+            "member health (MTTR = simulated s from leaving healthy to "
+            "return)",
+            ["member", "state", "faults", "transitions", "mttr s",
+             "cores out"])
+        for name in sorted(res["health"]):
+            h = res["health"][name]
+            transitions = sum(h.get("transitions", {}).values())
+            mttr = h.get("mttr_s", [])
+            mttr_txt = f"{sum(mttr) / len(mttr):.6g}" if mttr else "-"
+            health.add_row(name, h.get("state", "?"), h.get("faults", 0),
+                           transitions, mttr_txt,
+                           h.get("failed_cores", 0))
+        parts += ["", health.render()]
+        fault_s = res.get("fault_latency_s", {})
+        if fault_s:
+            share = res.get("fault_latency_total_s", 0.0)
+            frac = share / report.duration_s if report.duration_s else 0.0
+            lines = [f"fault-attributed latency: {share:.6g}s "
+                     f"({frac:.2%} of the run)"]
+            for kind in sorted(fault_s):
+                lines.append(f"  {kind}: {fault_s[kind]:.6g}s")
+            parts += ["", "\n".join(lines)]
     if report.metrics.trace.events:
         parts += ["", "resilience events:",
                   report.metrics.trace.to_text().rstrip()]

@@ -1,0 +1,26 @@
+"""Seeded-RNG audit for the fault-injection plane.
+
+Fault plans, the injector and campaigns drive the byte-identical
+replay checks (``repro faults --replay-check``, the CI chaos-smoke
+job), so ``src/repro/faults/`` falls under the same contract as
+``src/repro/serve/``: no wall-clock imports, no process-global RNG —
+only explicit ``random.Random(seed)``.  The shared AST walker lives in
+``tests/rng_audit.py``.
+"""
+
+import pytest
+
+import repro.faults
+from tests.rng_audit import audit_source, package_sources
+
+SOURCES = package_sources(repro.faults)
+
+
+def test_faults_sources_found():
+    names = {p.name for p in SOURCES}
+    assert {"plan.py", "injector.py", "campaign.py"} <= names
+
+
+@pytest.mark.parametrize("source", SOURCES, ids=lambda p: p.name)
+def test_no_wall_clock_or_global_rng(source):
+    assert audit_source(source) == []

@@ -1,0 +1,81 @@
+"""FaultTrace JSON export (schema repro-faults/1): byte-stable
+round-trips.
+
+The serialized form must carry everything the canonical text form does
+— dump → load → re-dump has to be byte-identical, both in memory and
+through files — so a chaos campaign's trace can be archived and
+replay-diffed later without the producing process.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.resilience import FAULTS_SCHEMA, FaultTrace
+from repro.faults import CampaignConfig, run_campaign
+
+
+def _sample_trace() -> FaultTrace:
+    t = FaultTrace()
+    t.record(0.0, "dram.bitflip", "bank0@0x10.bit3", "injected")
+    t.record(1.5e-5, "noc.delay", "noc1", "consumed", "extra=2e-06")
+    t.record(-1.0, "solver.sdc", "iter17", "detected", "range-check")
+    t.record(2.0e-5, "kernel.hang", "core3,4.trisc0", "injected", "")
+    return t
+
+
+class TestSchema:
+    def test_tagged_and_counted(self):
+        doc = _sample_trace().to_json()
+        assert doc["schema"] == FAULTS_SCHEMA == "repro-faults/1"
+        assert doc["n_events"] == 4
+        assert len(doc["events"]) == 4
+
+    def test_rows_are_fixed_order(self):
+        doc = _sample_trace().to_json()
+        t, kind, where, action, detail = doc["events"][1]
+        assert (t, kind, where, action, detail) == (
+            1.5e-5, "noc.delay", "noc1", "consumed", "extra=2e-06")
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            FaultTrace.from_json({"schema": "other/1", "events": []})
+
+    def test_inconsistent_count_rejected(self):
+        doc = _sample_trace().to_json()
+        doc["n_events"] = 99
+        with pytest.raises(ValueError, match="inconsistent"):
+            FaultTrace.from_json(doc)
+
+
+class TestRoundTrip:
+    def test_dump_load_redump_byte_identical(self):
+        trace = _sample_trace()
+        text = trace.to_json_text()
+        again = FaultTrace.from_json(json.loads(text))
+        assert again.to_json_text() == text
+        assert again.to_text() == trace.to_text()
+
+    def test_file_round_trip(self, tmp_path):
+        trace = _sample_trace()
+        path = tmp_path / "trace.json"
+        trace.write_json(str(path))
+        loaded = FaultTrace.read_json(str(path))
+        assert loaded.to_json_text() == path.read_text()
+        assert loaded.to_json_text() == trace.to_json_text()
+
+    def test_empty_trace_round_trips(self):
+        trace = FaultTrace()
+        again = FaultTrace.from_json(json.loads(trace.to_json_text()))
+        assert len(again) == 0
+        assert again.to_json_text() == trace.to_json_text()
+
+    def test_campaign_trace_round_trips(self, tmp_path):
+        """A real campaign's trace survives the archive format intact."""
+        report = run_campaign(CampaignConfig(seed=5, iterations=16))
+        assert len(report.trace) > 0
+        path = tmp_path / "campaign.json"
+        report.trace.write_json(str(path))
+        loaded = FaultTrace.read_json(str(path))
+        assert loaded.to_json_text() == report.trace.to_json_text()
+        assert loaded.to_text() == report.trace.to_text()

@@ -1,0 +1,137 @@
+"""The member-health circuit breaker: a pure state machine over
+simulated fault times (healthy → suspect → quarantined →
+reintegrating)."""
+
+import pytest
+
+from repro.serve.health import HEALTH_STATES, HealthConfig, MemberHealth
+
+
+def _cfg(**kw):
+    kw.setdefault("window_s", 2e-2)
+    kw.setdefault("suspect_after", 1)
+    kw.setdefault("quarantine_after", 3)
+    return HealthConfig(**kw)
+
+
+class TestHealthConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_s"):
+            HealthConfig(window_s=0.0)
+        with pytest.raises(ValueError, match="suspect_after"):
+            HealthConfig(suspect_after=0)
+        with pytest.raises(ValueError, match="quarantine_after"):
+            HealthConfig(suspect_after=3, quarantine_after=2)
+        with pytest.raises(ValueError, match="non-negative"):
+            HealthConfig(probe_delay_s=-1.0)
+        with pytest.raises(ValueError, match="canary_passes"):
+            HealthConfig(canary_passes=0)
+        with pytest.raises(ValueError, match="canary solve"):
+            HealthConfig(canary_nx=0)
+
+    def test_dict_round_trip(self):
+        cfg = _cfg(canary_passes=3, window_s=1e-1)
+        assert HealthConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestBreaker:
+    def test_initially_healthy_and_accepting(self):
+        h = MemberHealth(_cfg())
+        assert h.state == "healthy" == HEALTH_STATES[0]
+        assert h.accepts(0.0)
+        assert h.rank() == 0
+
+    def test_fault_makes_suspect_with_holdoff(self):
+        h = MemberHealth(_cfg())
+        assert h.note_fault(1.0, "hang") == ("healthy", "suspect")
+        hold = h.cfg.suspect_holdoff_s
+        assert not h.accepts(1.0 + hold / 2)
+        assert h.accepts(1.0 + hold)
+
+    def test_breaker_trips_at_quarantine_threshold(self):
+        h = MemberHealth(_cfg(quarantine_after=3))
+        assert h.note_fault(0.0, "sdc") == ("healthy", "suspect")
+        assert h.note_fault(1e-3, "sdc") is None          # still suspect
+        assert h.note_fault(2e-3, "sdc") == ("suspect", "quarantined")
+        assert not h.accepts(100.0)                       # never, until probed
+        assert h.epoch == 1
+
+    def test_window_prunes_old_faults(self):
+        h = MemberHealth(_cfg(window_s=1e-3, quarantine_after=2))
+        h.note_fault(0.0, "hang")
+        # Far outside the window: the old fault no longer counts, so
+        # this is one-in-window again — no quarantine.
+        assert h.note_fault(1.0, "hang") is None
+        assert h.state == "suspect"
+        assert h.window_count(1.0) == 1
+
+    def test_suspect_recovers_when_window_drains(self):
+        h = MemberHealth(_cfg(window_s=1e-3))
+        h.note_fault(0.0, "hang")
+        assert h.note_success(1e-4) is None               # window not drained
+        assert h.note_success(1.0) == ("suspect", "healthy")
+        assert h.accepts(1.0)
+
+
+class TestQuarantineLifecycle:
+    def _quarantined(self, t=0.0):
+        h = MemberHealth(_cfg(suspect_after=1, quarantine_after=1,
+                              reintegrate_successes=2))
+        assert h.note_fault(t, "hang") == ("healthy", "quarantined")
+        return h
+
+    def test_reintegration_path(self):
+        h = self._quarantined(t=1.0)
+        assert h.to_reintegrating(2.0) == ("quarantined", "reintegrating")
+        assert h.rank() == 1 and h.accepts(2.0)
+        assert h.note_success(2.5) is None                # streak 1 of 2
+        assert h.note_success(3.0) == ("reintegrating", "healthy")
+        # MTTR: left healthy at t=1.0, returned at t=3.0.
+        assert h.mttr_samples == [2.0]
+
+    def test_zero_tolerance_while_reintegrating(self):
+        h = self._quarantined()
+        h.to_reintegrating(1.0)
+        assert h.note_fault(1.5, "sdc") == ("reintegrating", "quarantined")
+        assert h.epoch == 2                               # new probe epoch
+
+    def test_canary_failure_keeps_quarantined(self):
+        h = self._quarantined()
+        assert h.note_fault(1.0, "canary.hang") is None
+        assert h.state == "quarantined"
+        assert h.epoch == 1                               # no re-entry
+
+    def test_to_reintegrating_only_from_quarantine(self):
+        h = MemberHealth(_cfg())
+        assert h.to_reintegrating(0.0) is None
+        assert h.state == "healthy"
+
+    def test_transition_counters_and_doc(self):
+        h = self._quarantined(t=1.0)
+        h.to_reintegrating(2.0)
+        h.note_success(2.5)
+        h.note_success(3.0)
+        doc = h.to_doc()
+        assert doc["state"] == "healthy"
+        assert doc["faults"] == 1
+        assert doc["transitions"] == {
+            "healthy->quarantined": 1,
+            "quarantined->reintegrating": 1,
+            "reintegrating->healthy": 1,
+        }
+        assert doc["mttr_s"] == [2.0]
+
+
+class TestRank:
+    def test_selection_order(self):
+        ranks = {}
+        h = MemberHealth(_cfg(suspect_after=1, quarantine_after=2))
+        ranks["healthy"] = h.rank()
+        h.note_fault(0.0, "hang")
+        ranks["suspect"] = h.rank()
+        h.note_fault(1e-3, "hang")
+        ranks["quarantined"] = h.rank()
+        h.to_reintegrating(1.0)
+        ranks["reintegrating"] = h.rank()
+        assert ranks["healthy"] < ranks["reintegrating"] \
+            < ranks["suspect"] < ranks["quarantined"]

@@ -146,7 +146,7 @@ class TestServiceBehaviourUnderLoad:
     def test_report_aggregates_consistent(self):
         report = run_loadgen(_cfg(), solve=False)
         doc = report.to_json()
-        assert doc["schema"] == "repro-serve/1"
+        assert doc["schema"] == "repro-serve/2"
         assert doc["requests"]["submitted"] == len(report.outcomes)
         assert doc["requests"]["completed"] \
             + doc["requests"]["shed"] == doc["requests"]["submitted"]

@@ -96,20 +96,35 @@ class TestMembers:
         assert err.timeout_s == 0.5
         assert err.stalls and err.stalls[0].waiting_on == "cb.wait_front"
 
-    def test_availability_and_cooldown(self):
+    def test_availability_tracks_health(self):
         dev = DeviceMember(0, (12, 9))
         assert dev.available(0.0)
-        dev.cooldown_until = 2.0
-        assert not dev.available(1.0) and dev.available(2.0)
-        dev.cooldown_until = 0.0
+        # A fault makes the member suspect: it rests out the holdoff.
+        dev.health.note_fault(1.0, "hang")
+        hold = dev.health.cfg.suspect_holdoff_s
+        assert not dev.available(1.0 + hold / 2)
+        assert dev.available(1.0 + hold)
         dev.busy = True
         assert not dev.available(5.0)
+        dev.busy = False
+        # Quarantined members never accept tenant work.
+        while dev.health.state != "quarantined":
+            dev.health.note_fault(1.0, "sdc")
+        assert not dev.available(100.0)
 
     def test_free_member_is_lowest_id(self):
         pool = WorkerPool(PoolConfig(n_devices=3))
         assert pool.free_device(0.0).device_id == 0
         pool.devices[0].busy = True
         assert pool.free_device(0.0).device_id == 1
+
+    def test_free_member_prefers_healthier_rank(self):
+        pool = WorkerPool(PoolConfig(n_devices=2))
+        # Device 0 suspect (past its holdoff), device 1 healthy: the
+        # healthy one wins even though its id is higher.
+        pool.devices[0].health.note_fault(0.0, "hang")
+        later = pool.devices[0].health.held_until + 1.0
+        assert pool.free_device(later).device_id == 1
 
     def test_utilization(self):
         pool = WorkerPool(PoolConfig(n_devices=1, n_cpu_workers=1))

@@ -1,83 +1,38 @@
 """Seeded-RNG audit: simulated-time serving code may never consult the
 wall clock or the process-global random module.
 
-The serve determinism contract (byte-identical reports across repeat
-runs, ``-j`` settings and trace replay) only holds if every source of
-variation is an explicit ``random.Random(seed)``.  This test walks the
-AST of every module under ``src/repro/serve/`` and fails on:
-
-* any import of ``time`` or ``datetime`` (wall-clock vocabulary);
-* any call through the ``random`` *module* other than the seeded
-  constructor ``random.Random(...)`` — so ``random.random()``,
-  ``random.choice()`` etc. (which share mutable global state) are out;
-* unseeded NumPy generators (``numpy.random.default_rng()`` with no
-  argument, or legacy ``numpy.random.<dist>`` calls).
+The walker itself lives in ``tests/rng_audit.py`` (shared with the
+``repro.faults`` audit); this module applies it to every source file
+under ``src/repro/serve/`` and keeps the self-tests proving the audit
+actually catches the forbidden patterns.
 """
 
 import ast
-from pathlib import Path
 
 import pytest
 
 import repro.serve
+from tests.rng_audit import audit_source, package_sources, violations
 
-SERVE_DIR = Path(repro.serve.__file__).parent
-SOURCES = sorted(SERVE_DIR.glob("*.py"))
-
-FORBIDDEN_IMPORTS = {"time", "datetime"}
-
-
-def _violations(tree: ast.AST, filename: str):
-    out = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                root = alias.name.split(".")[0]
-                if root in FORBIDDEN_IMPORTS:
-                    out.append(f"{filename}:{node.lineno}: "
-                               f"imports wall-clock module {alias.name!r}")
-        elif isinstance(node, ast.ImportFrom):
-            root = (node.module or "").split(".")[0]
-            if root in FORBIDDEN_IMPORTS:
-                out.append(f"{filename}:{node.lineno}: "
-                           f"imports from wall-clock module {node.module!r}")
-        elif isinstance(node, ast.Call):
-            func = node.func
-            if not isinstance(func, ast.Attribute):
-                continue
-            target = func.value
-            # random.<anything but the seeded constructor>(...)
-            if isinstance(target, ast.Name) and target.id == "random" \
-                    and func.attr != "Random":
-                out.append(f"{filename}:{node.lineno}: "
-                           f"global-state call random.{func.attr}()")
-            # numpy.random.default_rng() unseeded / legacy np.random.*
-            if isinstance(target, ast.Attribute) \
-                    and target.attr == "random" \
-                    and isinstance(target.value, ast.Name) \
-                    and target.value.id in ("np", "numpy"):
-                if func.attr != "default_rng" or not node.args:
-                    out.append(f"{filename}:{node.lineno}: "
-                               f"unseeded numpy.random.{func.attr}()")
-    return out
+SOURCES = package_sources(repro.serve)
 
 
 def test_serve_sources_found():
     names = {p.name for p in SOURCES}
-    assert {"service.py", "loadgen.py", "pool.py"} <= names
+    assert {"service.py", "loadgen.py", "pool.py",
+            "health.py", "chaos.py"} <= names
 
 
 @pytest.mark.parametrize("source", SOURCES, ids=lambda p: p.name)
 def test_no_wall_clock_or_global_rng(source):
-    tree = ast.parse(source.read_text(), filename=str(source))
-    assert _violations(tree, source.name) == []
+    assert audit_source(source) == []
 
 
 class TestAuditCatchesViolations:
     """The audit itself must actually detect the forbidden patterns."""
 
     def _check(self, code):
-        return _violations(ast.parse(code), "<case>")
+        return violations(ast.parse(code), "<case>")
 
     def test_flags_time_import(self):
         assert self._check("import time\n")
