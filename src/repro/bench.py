@@ -328,6 +328,50 @@ def _bench_chaos_smoke(smoke: bool) -> Tuple[float, float,
     return wall, wall, inv
 
 
+def _bench_lint_smoke(smoke: bool) -> Tuple[float, float,
+                                            Dict[str, object]]:
+    """Whole-program lint wall time over the shipped Jacobi programs.
+
+    Builds (off the clock) the optimised Jacobi launch twice — single
+    core and the paper's full 12x9 = 108-core grid, 324 kernel
+    instances — then times ``lint.lint_program`` over both with a cold
+    symbolic-trace cache, i.e. the K/P/R passes plus the cross-core
+    happens-before analysis end to end.  The invariants pin zero
+    findings, the kernel-instance count and the rule-catalogue size:
+    a new rule firing on shipped kernels, a lost rule, or a change in
+    program assembly is a semantic change, not noise.
+    """
+    from repro import lint
+    from repro.arch.device import GrayskullDevice
+    from repro.core.grid import LaplaceProblem
+    from repro.core.jacobi_optimized import OptimizedJacobiRunner
+    from repro.lint import trace as lint_trace
+    from repro.ttmetal import create_buffer
+
+    programs = []
+    for nx, ny, cy, cx in ((96, 96, 1, 1), (288, 216, 12, 9)):
+        dev = GrayskullDevice(dram_bank_capacity=64 << 20)
+        runner = OptimizedJacobiRunner(dev, LaplaceProblem(nx=nx, ny=ny),
+                                       cores_y=cy, cores_x=cx)
+        d1 = create_buffer(dev, runner.layout.nbytes, interleaved=True,
+                           page_size=runner.config.page_size)
+        d2 = create_buffer(dev, runner.layout.nbytes, interleaved=True,
+                           page_size=runner.config.page_size)
+        programs.append(runner.build_program(2, d1, d2))
+
+    lint_trace._TRACE_CACHE.clear()   # cold cache: time the full analysis
+    findings = kernels = 0
+    t0 = time.perf_counter()
+    for prog in programs:
+        report = lint.lint_program(prog)
+        findings += len(report)
+        kernels += len(prog.kernels)
+    wall = time.perf_counter() - t0
+    inv = {"findings": findings, "programs": len(programs),
+           "kernels": kernels, "rules": len(lint.all_rules())}
+    return wall, wall, inv
+
+
 # --------------------------------------------------------------------------
 # runner
 # --------------------------------------------------------------------------
@@ -345,6 +389,7 @@ BENCHMARKS: Dict[str, Tuple[str, str, str, bool, Callable]] = {
     "stream_sweep": ("macro", "wall_s", "s", False, _bench_stream_sweep),
     "serve_smoke": ("macro", "wall_s", "s", False, _bench_serve_smoke),
     "chaos_smoke": ("macro", "wall_s", "s", False, _bench_chaos_smoke),
+    "lint_smoke": ("macro", "wall_s", "s", False, _bench_lint_smoke),
 }
 
 

@@ -37,6 +37,10 @@ Examples::
     python -m repro faults --hang-demo
     python -m repro lint
     python -m repro lint --list-rules
+    python -m repro lint --format json
+    python -m repro lint --py
+    python -m repro lint --witness
+    python -m repro lint --corpus R301
     python -m repro bench --smoke --check
     python -m repro serve loadgen --seed 0 --requests 64 --hangs 2
     python -m repro serve loadgen --seed 0 --record trace.jsonl
@@ -177,6 +181,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the rule catalogue and exit")
     li.add_argument("--skip-examples", action="store_true",
                     help="do not lint the examples/ scripts")
+    li.add_argument("--strict", action="store_true",
+                    help="exit 1 on any finding, warnings included "
+                         "(default: only error-severity findings fail)")
+    li.add_argument("--format", default="text", choices=["text", "json"],
+                    help="report format; json emits the repro-lint/1 "
+                         "envelope (byte-stable) and nothing else")
+    li.add_argument("--py", action="store_true",
+                    help="audit src/repro for wall-clock imports and "
+                         "unseeded RNG use instead of linting kernels")
+    li.add_argument("--witness", action="store_true",
+                    help="lint the seeded-violation corpus and replay "
+                         "every R3xx counterexample schedule through the "
+                         "simulator; exit 0 iff all confirm")
+    li.add_argument("--corpus", default=None, metavar="RULE_ID",
+                    help="lint one seeded-violation corpus program "
+                         "(R301..R305, or P201 for the warning-only one)")
 
     be = sub.add_parser(
         "bench", parents=[par],
@@ -532,13 +552,91 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _lint_exit_code(report, strict: bool) -> int:
+    """0 on clean or warnings-only; 1 on errors, or any finding in strict."""
+    if report.errors:
+        return 1
+    if strict and report:
+        return 1
+    return 0
+
+
+def _emit_lint_report(report, args, ok_line: str) -> int:
+    """Render one lint report in the chosen format and exit-code it."""
+    from repro.lint.export import report_to_json, to_json_text
+
+    code = _lint_exit_code(report, args.strict)
+    if args.format == "json":
+        sys.stdout.write(to_json_text(report_to_json(report)))
+        return code
+    if report:
+        print(report.render())
+        print(f"{'FAILED' if code else 'OK'}: {len(report.errors)} "
+              f"error(s), {len(report.warnings)} warning(s)")
+    else:
+        print(ok_line)
+    return code
+
+
+def _cmd_lint_py(args) -> int:
+    """Audit src/repro for wall-clock imports and unseeded RNG use."""
+    import json
+
+    from repro.lint.pysource import WALL_CLOCK_WAIVERS, audit_repro
+
+    found = audit_repro()
+    if args.format == "json":
+        doc = {"schema": "repro-lint-py/1", "violations": found,
+               "wall_clock_waivers": dict(sorted(WALL_CLOCK_WAIVERS.items()))}
+        sys.stdout.write(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+        return 1 if found else 0
+    for v in found:
+        print(v)
+    if found:
+        print(f"FAILED: {len(found)} determinism violation(s) in src/repro")
+        return 1
+    print("OK: src/repro is wall-clock/RNG clean "
+          f"({len(WALL_CLOCK_WAIVERS)} documented wall-clock waiver(s))")
+    return 0
+
+
+def _cmd_lint_witness(args) -> int:
+    """Lint the corpus and dynamically replay every R3xx witness."""
+    from repro import lint
+    from repro.lint import corpus_concurrency as corpus
+
+    failures = 0
+    for rule_id, builder in corpus.CORPUS.items():
+        _dev, prog = builder()
+        report = lint.lint_program(prog)
+        if report.rule_ids() != [rule_id]:
+            print(f"{rule_id}: corpus program flagged "
+                  f"{report.rule_ids() or 'nothing'} instead of [{rule_id}]")
+            failures += 1
+            continue
+        for finding in report.findings:
+            res = lint.replay_witness(builder, finding.witness)
+            verdict = "confirmed" if res.confirmed else "UNCONFIRMED"
+            print(f"{rule_id}: witness {finding.witness.digest()} -> "
+                  f"{verdict} ({res.detail})")
+            if not res.confirmed:
+                failures += 1
+    if failures:
+        print(f"FAILED: {failures} witness(es) did not confirm")
+        return 1
+    print("OK: every corpus finding's counterexample schedule confirmed "
+          "dynamically")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     """Statically lint every shipped kernel/program and the examples.
 
     Builds each shipped program exactly as the runners do (the
-    ``lint.capture()`` context collects findings instead of warning) and
-    exits nonzero if any rule fires — the CI gate promised in
-    ``docs/lint_rules.md``.
+    ``lint.capture()`` context collects findings instead of warning) —
+    the CI gate promised in ``docs/lint_rules.md``.  Exit code: 0 when
+    clean or warnings-only, 1 on any error-severity finding (or on any
+    finding at all with ``--strict``).
     """
     from repro import lint
 
@@ -547,6 +645,20 @@ def _cmd_lint(args) -> int:
             sev = "E" if rule.severity == lint.Severity.ERROR else "W"
             print(f"{sev} {rule.rule_id} {rule.name:<28} {rule.summary}")
         return 0
+    if args.py:
+        return _cmd_lint_py(args)
+    if args.witness:
+        return _cmd_lint_witness(args)
+    if args.corpus:
+        from repro.lint import corpus_concurrency as corpus
+        try:
+            _dev, prog = corpus.build(args.corpus)
+        except KeyError as exc:
+            print(f"lint --corpus: {exc.args[0]}", file=sys.stderr)
+            return 2
+        report = lint.lint_program(prog)
+        return _emit_lint_report(
+            report, args, f"OK: no findings in corpus {args.corpus}")
 
     from repro.arch.device import GrayskullDevice
     from repro.core.grid import LaplaceProblem
@@ -576,12 +688,8 @@ def _cmd_lint(args) -> int:
             _lint_examples()
     n_programs = "shipped kernels and examples" if not args.skip_examples \
         else "shipped kernels"
-    if report:
-        print(report.render())
-        print(f"FAILED: {len(report)} finding(s) across {n_programs}")
-        return 1
-    print(f"OK: no findings across {n_programs}")
-    return 0
+    return _emit_lint_report(report, args,
+                             f"OK: no findings across {n_programs}")
 
 
 def _lint_examples() -> None:

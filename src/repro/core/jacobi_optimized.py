@@ -313,31 +313,17 @@ class OptimizedJacobiRunner:
         self.cores_x = cores_x
         self.layout = AlignedDomain(problem)
 
-    def run(self, iterations: int,
-            sim_iterations: Optional[int] = None,
-            read_back: bool = True,
-            initial_grid: Optional[np.ndarray] = None) -> DeviceRunResult:
-        """Execute; see :meth:`InitialJacobiRunner.run` for the contract.
+    def build_program(self, sim_iters: int, d1, d2) -> Program:
+        """Assemble the multi-core Program over the two DRAM buffers.
 
-        ``initial_grid`` (a full ``(ny+2, nx+2)`` BF16 halo grid)
-        overrides the problem's default initial state.
+        Exactly the launch :meth:`run` enqueues (same CB/semaphore/kernel
+        creation order, so lint findings and bench invariants match a
+        real run); callers that only need the static program — the lint
+        sweep, the ``lint_smoke`` benchmark — build it without paying
+        for simulation.
         """
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
-        sim_iters = min(sim_iterations or iterations, iterations)
-        if sim_iters <= 0:
-            raise ValueError("sim_iterations must be positive")
         dev = self.device
         cfg = self.config
-
-        img = self.layout.pack(initial_grid)
-        mk = dict(interleaved=True, page_size=cfg.page_size) \
-            if cfg.interleaved else dict(bank_id=0)
-        d1 = create_buffer(dev, self.layout.nbytes, **mk)
-        d2 = create_buffer(dev, self.layout.nbytes, **mk)
-        t_in = EnqueueWriteBuffer(dev, d1, img)
-        t_in += EnqueueWriteBuffer(dev, d2, img)
-
         grid = dev.worker_grid(self.cores_y, self.cores_x)
         subs = split_domain(self.problem.nx, self.problem.ny,
                             self.cores_y, self.cores_x)
@@ -366,6 +352,34 @@ class OptimizedJacobiRunner:
                 CreateKernel(prog, _reader_kernel, core, DATA_MOVER_0, common)
                 CreateKernel(prog, _compute_kernel, core, COMPUTE, common)
                 CreateKernel(prog, _writer_kernel, core, DATA_MOVER_1, common)
+        return prog
+
+    def run(self, iterations: int,
+            sim_iterations: Optional[int] = None,
+            read_back: bool = True,
+            initial_grid: Optional[np.ndarray] = None) -> DeviceRunResult:
+        """Execute; see :meth:`InitialJacobiRunner.run` for the contract.
+
+        ``initial_grid`` (a full ``(ny+2, nx+2)`` BF16 halo grid)
+        overrides the problem's default initial state.
+        """
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        sim_iters = min(sim_iterations or iterations, iterations)
+        if sim_iters <= 0:
+            raise ValueError("sim_iterations must be positive")
+        dev = self.device
+        cfg = self.config
+
+        img = self.layout.pack(initial_grid)
+        mk = dict(interleaved=True, page_size=cfg.page_size) \
+            if cfg.interleaved else dict(bank_id=0)
+        d1 = create_buffer(dev, self.layout.nbytes, **mk)
+        d2 = create_buffer(dev, self.layout.nbytes, **mk)
+        t_in = EnqueueWriteBuffer(dev, d1, img)
+        t_in += EnqueueWriteBuffer(dev, d2, img)
+
+        prog = self.build_program(sim_iters, d1, d2)
 
         EnqueueProgram(dev, prog)
         kernel_time = Finish(dev)

@@ -12,7 +12,15 @@ simulator runs:
 * program rules (P201..P207) join the traces of all kernels on a core
   with the host-side configuration (CBs, runtime args, L1 layout,
   DRAM buffers) and check the producer/consumer graph, page-count
-  deadlocks, L1 overlaps and buffer-offset alignment.
+  deadlocks, L1 overlaps and buffer-offset alignment;
+* launch rules (R301..R305, :mod:`repro.lint.concurrency`) build a
+  happens-before graph over *every* core of a launch and check for
+  cross-core NoC races, multicast overlaps, lost semaphore signals and
+  global circular-wait deadlocks — each finding carrying a replayable
+  counterexample schedule (``repro lint --witness``);
+* the Python-source determinism audit (:mod:`repro.lint.pysource`,
+  ``repro lint --py``) walks the host-side package for wall-clock
+  imports and unseeded RNG use.
 
 ``EnqueueProgram`` runs the pass automatically (warn by default,
 ``lint="strict"`` or ``REPRO_LINT=strict`` raises :class:`LintError`,
@@ -26,16 +34,20 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import List
 
+from .concurrency import concurrency_findings
 from .findings import Finding, LintError, LintReport, LintWarning, Severity
 from .registry import RULES, Rule, all_rules, make_finding
 from .rules_kernel import kernel_findings, lint_kernel
 from .rules_program import lint_l1_regions, program_findings
 from .trace import KernelTrace, extract_trace
+from .witness import ReplayResult, Witness, WitnessStep, replay_witness
 
 __all__ = [
     "Finding", "LintError", "LintReport", "LintWarning", "Severity",
     "Rule", "RULES", "all_rules",
     "lint_kernel", "lint_program", "lint_l1_regions",
+    "concurrency_findings",
+    "Witness", "WitnessStep", "ReplayResult", "replay_witness",
     "extract_trace", "KernelTrace",
     "capture", "deliver",
 ]
@@ -73,11 +85,12 @@ def deliver(report: LintReport) -> bool:
 
 
 def lint_program(program) -> LintReport:
-    """Run all kernel and program rules over an assembled Program."""
+    """Run all kernel, program and launch rules over an assembled Program."""
     findings: List[Finding] = []
     for spec in getattr(program, "kernels", []):
         findings.extend(kernel_findings(extract_trace(spec.fn)))
     findings.extend(program_findings(program))
+    findings.extend(concurrency_findings(program))
     # the same kernel fn on many cores yields identical findings: dedupe
     report = LintReport(scope="program")
     report.findings = list(dict.fromkeys(findings))

@@ -1,0 +1,225 @@
+"""Seeded-violation corpus for the R3xx concurrency rules.
+
+One minimal broken two-core program per rule.  Each builder returns a
+fresh, un-enqueued ``(device, program)`` pair; linting the program must
+flag *exactly* its rule (asserted by ``tests/lint/test_corpus_concurrency``
+and the ``repro lint --corpus``/``--witness`` CLI paths), and every
+finding's counterexample schedule must be dynamically confirmable by
+:func:`repro.lint.witness.replay_witness` — races complete with both
+endpoints executed in the witness window, hangs trip the Finish
+watchdog with the predicted kernels stalled.
+
+The kernels live at module level so ``inspect.getsource`` can trace
+them, and they stay strictly straight-line so witness indices align
+with runtime API-call counts.
+
+``warning_program`` builds a P201-only (warning-severity) program used
+by the CLI exit-code tests: warnings alone must exit 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+__all__ = ["CORPUS", "RULE_IDS", "build", "warning_program"]
+
+
+# --------------------------------------------------------------------------
+# kernels (module-level, straight-line, traceable)
+# --------------------------------------------------------------------------
+
+def _race_writer_low(ctx):
+    """Writes buf[0, 64) with no cross-core ordering (R301/R302 corpus)."""
+    buf = ctx.arg("buf")
+    src = ctx.core.sram.allocate(64, align=32)
+    yield from ctx.noc_write_buffer(buf, 0, src, 64)
+    yield from ctx.noc_async_write_barrier()
+
+
+def _race_writer_high(ctx):
+    """Writes buf[32, 96), overlapping the low writer on [32, 64)."""
+    buf = ctx.arg("buf")
+    src = ctx.core.sram.allocate(64, align=32)
+    yield from ctx.noc_write_buffer(buf, 32, src, 64)
+    yield from ctx.noc_async_write_barrier()
+
+
+def _race_reader(ctx):
+    """Reads buf[0, 64) racing the low writer (R302 corpus)."""
+    buf = ctx.arg("buf")
+    dst = ctx.core.sram.allocate(64, align=32)
+    yield from ctx.noc_read_buffer(buf, 0, dst, 64)
+    yield from ctx.noc_async_read_barrier()
+
+
+def _mcast_sender(ctx):
+    """Multicasts 64 B into [0x8000, 0x8040) of every dst core's L1."""
+    dsts = ctx.arg("dsts")
+    src = ctx.core.sram.allocate(64, align=32)
+    yield from ctx.noc_sram_write_multicast(dsts, 0x8000, src, 64)
+    yield from ctx.noc_async_write_barrier()
+
+
+def _unicast_sender(ctx):
+    """Unicasts 64 B into [0x8020, 0x8060) of one multicast destination."""
+    dst = ctx.arg("dst")
+    src = ctx.core.sram.allocate(64, align=32)
+    yield from ctx.noc_sram_write(dst, 0x8020, src, 64)
+    yield from ctx.noc_async_write_barrier()
+
+
+def _lost_waiter(ctx):
+    """Waits on local semaphore 0, which nobody ever signals (R304)."""
+    yield from ctx.semaphore_wait(0, 1)
+
+
+def _bystander(ctx):
+    """Harmless second-core kernel so the launch spans two cores."""
+    yield from ctx.noc_async_write_barrier()
+
+
+def _circular_first(ctx):
+    """Waits s1 then signals s2 — half of the R305 circular wait."""
+    s1 = ctx.arg("s1")
+    s2 = ctx.arg("s2")
+    yield from ctx.semaphore_wait(s1, 1)
+    yield from ctx.semaphore_inc(s2, 1)
+
+
+def _circular_second(ctx):
+    """Waits s2 then signals s1 — the other half of the cycle."""
+    s1 = ctx.arg("s1")
+    s2 = ctx.arg("s2")
+    yield from ctx.semaphore_wait(s2, 1)
+    yield from ctx.semaphore_inc(s1, 1)
+
+
+def _warning_producer(ctx):
+    """Pushes into a CB nobody consumes (P201, warning severity)."""
+    yield from ctx.cb_reserve_back(0, 1)
+    yield from ctx.cb_push_back(0, 1)
+
+
+# --------------------------------------------------------------------------
+# builders
+# --------------------------------------------------------------------------
+
+def _device():
+    from repro.arch.device import GrayskullDevice
+    return GrayskullDevice(dram_bank_capacity=1 << 20)
+
+
+def _two_cores(dev):
+    row = dev.worker_grid(1, 2)[0]
+    return row[0], row[1]
+
+
+def build_r301():
+    """Two cores write overlapping bytes of one DRAM buffer, unordered."""
+    from repro.ttmetal import CreateKernel, Program, create_buffer
+    from repro.arch.tensix import DATA_MOVER_0
+    dev = _device()
+    buf = create_buffer(dev, 4096, bank_id=0)
+    core_a, core_b = _two_cores(dev)
+    prog = Program(dev)
+    CreateKernel(prog, _race_writer_low, core_a, DATA_MOVER_0, {"buf": buf})
+    CreateKernel(prog, _race_writer_high, core_b, DATA_MOVER_0, {"buf": buf})
+    return dev, prog
+
+
+def build_r302():
+    """One core reads the bytes another core writes, unordered."""
+    from repro.ttmetal import CreateKernel, Program, create_buffer
+    from repro.arch.tensix import DATA_MOVER_0
+    dev = _device()
+    buf = create_buffer(dev, 4096, bank_id=0)
+    core_a, core_b = _two_cores(dev)
+    prog = Program(dev)
+    CreateKernel(prog, _race_writer_low, core_a, DATA_MOVER_0, {"buf": buf})
+    CreateKernel(prog, _race_reader, core_b, DATA_MOVER_0, {"buf": buf})
+    return dev, prog
+
+
+def build_r303():
+    """A multicast window overlaps an unordered unicast to one member."""
+    from repro.ttmetal import CreateKernel, Program
+    from repro.arch.tensix import DATA_MOVER_0
+    dev = _device()
+    grid = dev.worker_grid(2, 2)
+    core_a, core_b = grid[0][0], grid[0][1]
+    dst_c, dst_d = grid[1][0], grid[1][1]
+    prog = Program(dev)
+    CreateKernel(prog, _mcast_sender, core_a, DATA_MOVER_0,
+                 {"dsts": [dst_c, dst_d]})
+    CreateKernel(prog, _unicast_sender, core_b, DATA_MOVER_0,
+                 {"dst": dst_c})
+    return dev, prog
+
+
+def build_r304():
+    """A semaphore wait that no kernel on the launch ever signals."""
+    from repro.ttmetal import CreateKernel, CreateSemaphore, Program
+    from repro.arch.tensix import DATA_MOVER_0
+    dev = _device()
+    core_a, core_b = _two_cores(dev)
+    prog = Program(dev)
+    CreateSemaphore(prog, core_a, 0, 0)
+    CreateKernel(prog, _lost_waiter, core_a, DATA_MOVER_0, {})
+    CreateKernel(prog, _bystander, core_b, DATA_MOVER_0, {})
+    return dev, prog
+
+
+def build_r305():
+    """Two cores wait on each other's signal: a global circular wait.
+
+    Both semaphores *have* signalers (so R304 stays silent); the
+    abstract executor still blocks both kernels at their first wait.
+    """
+    from repro.sim.resources import Semaphore
+    from repro.ttmetal import CreateKernel, Program
+    from repro.arch.tensix import DATA_MOVER_0
+    dev = _device()
+    core_a, core_b = _two_cores(dev)
+    s1 = Semaphore(dev.sim, value=0, name="s1")
+    s2 = Semaphore(dev.sim, value=0, name="s2")
+    args = {"s1": s1, "s2": s2}
+    prog = Program(dev)
+    CreateKernel(prog, _circular_first, core_a, DATA_MOVER_0, dict(args))
+    CreateKernel(prog, _circular_second, core_b, DATA_MOVER_0, dict(args))
+    return dev, prog
+
+
+def warning_program():
+    """A warnings-only (P201) program for the CLI exit-code paths."""
+    from repro.ttmetal import CreateCircularBuffer, CreateKernel, Program
+    from repro.arch.tensix import DATA_MOVER_0
+    dev = _device()
+    core = dev.worker_grid(1, 1)[0][0]
+    prog = Program(dev)
+    CreateCircularBuffer(prog, core, 0, 64, 2)
+    CreateKernel(prog, _warning_producer, core, DATA_MOVER_0, {})
+    return dev, prog
+
+
+#: rule id -> builder, in rule-id order
+CORPUS: Dict[str, Callable[[], Tuple[object, object]]] = {
+    "R301": build_r301,
+    "R302": build_r302,
+    "R303": build_r303,
+    "R304": build_r304,
+    "R305": build_r305,
+}
+
+RULE_IDS = tuple(CORPUS)
+
+
+def build(rule_id: str):
+    """Build one corpus program (also accepts the P201 warning program)."""
+    if rule_id == "P201":
+        return warning_program()
+    try:
+        return CORPUS[rule_id]()
+    except KeyError:
+        raise KeyError(
+            f"no concurrency corpus program for {rule_id!r}; known: "
+            + ", ".join([*CORPUS, "P201"])) from None

@@ -1,0 +1,77 @@
+"""Schema-stable JSON export of lint reports (``repro lint --format json``).
+
+The envelope (schema ``repro-lint/1``) follows the repo's JSON
+conventions (like ``repro-faults/1`` and ``repro-serve/2``): documents
+are serialized with :func:`to_json_text` (sorted keys, ``indent=1``,
+trailing newline) and round-trip byte-identically —
+``to_json_text(report_to_json(report_from_json(doc))) == to_json_text(doc)``.
+
+Each finding carries its full location/rule/severity payload; R3xx
+findings additionally embed the counterexample schedule verbatim
+(``witness``) plus its stable content digest (``witness_digest``) so
+external tooling can reference a finding without hashing the schedule
+itself.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .findings import Finding, LintReport
+from .witness import Witness
+
+__all__ = ["SCHEMA", "report_to_json", "report_from_json", "to_json_text"]
+
+SCHEMA = "repro-lint/1"
+
+
+def report_to_json(report: LintReport) -> Dict:
+    """The ``repro-lint/1`` envelope for one lint report."""
+    findings = []
+    for f in report.findings:
+        findings.append({
+            "rule_id": f.rule_id,
+            "name": f.name,
+            "severity": f.severity,
+            "message": f.message,
+            "filename": f.filename,
+            "lineno": f.lineno,
+            "kernel": f.kernel,
+            "hint": f.hint,
+            "witness": f.witness.to_json() if f.witness is not None else None,
+            "witness_digest": (f.witness.digest()
+                               if f.witness is not None else None),
+        })
+    return {
+        "schema": SCHEMA,
+        "scope": report.scope,
+        "counts": {"errors": len(report.errors),
+                   "warnings": len(report.warnings)},
+        "findings": findings,
+    }
+
+
+def report_from_json(doc: Dict) -> LintReport:
+    """Rebuild a :class:`LintReport` from a ``repro-lint/1`` document."""
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(f"expected schema {SCHEMA!r}, got {schema!r}")
+    findings = []
+    for f in doc["findings"]:
+        witness = None
+        if f.get("witness") is not None:
+            witness = Witness.from_json(f["witness"])
+        findings.append(Finding(
+            rule_id=f["rule_id"], name=f["name"], severity=f["severity"],
+            message=f["message"], filename=f["filename"],
+            lineno=f["lineno"], kernel=f["kernel"], hint=f["hint"],
+            witness=witness))
+    report = LintReport(scope=doc.get("scope", ""))
+    report.findings = findings
+    return report
+
+
+def to_json_text(doc: Dict) -> str:
+    """Canonical byte-stable serialization of an envelope."""
+    return json.dumps(doc, sort_keys=True, indent=1) + "\n"

@@ -34,6 +34,10 @@ class Finding:
     lineno: int         #: 1-based line of the offending call
     kernel: str         #: kernel function (or program scope) flagged
     hint: str           #: how to fix it
+    #: counterexample schedule (R3xx rules only); a frozen
+    #: :class:`repro.lint.witness.Witness`, kept hashable so report
+    #: dedup via dict.fromkeys keeps working
+    witness: Optional[object] = None
 
     @property
     def location(self) -> str:
@@ -45,6 +49,10 @@ class Finding:
                  f"({self.kernel}): {self.message}"]
         if self.hint:
             lines.append(f"    hint: {self.hint}")
+        if self.witness is not None:
+            lines.append(f"    witness: {self.witness.digest()} "
+                         f"({len(self.witness.steps)} step(s); replay with "
+                         "repro lint --witness)")
         return "\n".join(lines)
 
 

@@ -1,0 +1,134 @@
+"""Host-side Python determinism audit (``repro lint --py``).
+
+The determinism contract (byte-identical reports and fault traces
+across repeat runs, ``-j`` settings and replay) only holds if every
+source of variation in simulated-time code is an explicit
+``random.Random(seed)``.  :func:`violations` walks a module's AST and
+reports:
+
+* any import of ``time`` or ``datetime`` (wall-clock vocabulary);
+* any call through the ``random`` *module* other than the seeded
+  constructor ``random.Random(...)`` — so ``random.random()``,
+  ``random.choice()`` etc. (which share mutable global state) are out;
+* unseeded NumPy generators (``numpy.random.default_rng()`` with no
+  argument, or legacy ``numpy.random.<dist>`` calls).
+
+:func:`audit_repro` sweeps **every** module of the installed
+``repro`` package recursively.  A small set of host-boundary modules
+legitimately reads the wall clock (bench timing, CLI progress, worker
+pools); those are listed in :data:`WALL_CLOCK_WAIVERS` with the reason
+spelled out, and only their *wall-clock* findings are waived — an
+unseeded-RNG violation is never waivable anywhere.
+
+The audit started life as a per-package test helper
+(``tests/rng_audit.py``, still a thin re-export wrapper for older
+tests); promoting it here puts the whole of ``src/repro`` under the
+same rule and exposes it on the CLI and in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = [
+    "FORBIDDEN_IMPORTS", "WALL_CLOCK_WAIVERS",
+    "package_sources", "repro_sources",
+    "violations", "audit_source", "audit_repro",
+]
+
+FORBIDDEN_IMPORTS = {"time", "datetime"}
+
+#: package-relative posix paths allowed to import wall-clock modules,
+#: with the reason.  RNG violations are never waived.
+WALL_CLOCK_WAIVERS: Dict[str, str] = {
+    "bench.py": ("benchmark harness: measures real wall time by design "
+                 "and stamps reports with the run date"),
+    "cli.py": ("host CLI: wall-clock progress/elapsed display only, "
+               "never feeds simulated time"),
+    "parallel/engine.py": ("worker-pool supervisor: polling intervals and "
+                           "timeouts for real OS processes"),
+}
+
+_WALL_CLOCK_MARKERS = ("wall-clock module",)
+
+
+def package_sources(package) -> List[Path]:
+    """Every ``*.py`` directly inside an imported package."""
+    return sorted(Path(package.__file__).parent.glob("*.py"))
+
+
+def repro_sources() -> List[Path]:
+    """Every ``*.py`` of the ``repro`` package, recursively."""
+    root = Path(__file__).resolve().parents[1]
+    return sorted(root.rglob("*.py"))
+
+
+def violations(tree: ast.AST, filename: str, *,
+               allow_wall_clock: bool = False) -> List[str]:
+    """All determinism violations in one parsed module.
+
+    With ``allow_wall_clock=True`` the ``time``/``datetime`` import
+    findings are dropped (the :data:`WALL_CLOCK_WAIVERS` path); RNG
+    findings are always kept.
+    """
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in FORBIDDEN_IMPORTS:
+                    out.append(f"{filename}:{node.lineno}: "
+                               f"imports wall-clock module {alias.name!r}")
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in FORBIDDEN_IMPORTS:
+                out.append(f"{filename}:{node.lineno}: "
+                           f"imports from wall-clock module {node.module!r}")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            target = func.value
+            # random.<anything but the seeded constructor>(...)
+            if isinstance(target, ast.Name) and target.id == "random" \
+                    and func.attr != "Random":
+                out.append(f"{filename}:{node.lineno}: "
+                           f"global-state call random.{func.attr}()")
+            # numpy.random.default_rng() unseeded / legacy np.random.*
+            if isinstance(target, ast.Attribute) \
+                    and target.attr == "random" \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id in ("np", "numpy"):
+                if func.attr != "default_rng" or not node.args:
+                    out.append(f"{filename}:{node.lineno}: "
+                               f"unseeded numpy.random.{func.attr}()")
+    if allow_wall_clock:
+        out = [v for v in out
+               if not any(m in v for m in _WALL_CLOCK_MARKERS)]
+    return out
+
+
+def audit_source(path: Path, *, allow_wall_clock: bool = False) -> List[str]:
+    """Parse one file and return its violation list."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return violations(tree, path.name, allow_wall_clock=allow_wall_clock)
+
+
+def audit_repro() -> List[str]:
+    """Audit the whole ``repro`` package; returns all unwaived violations.
+
+    Waived modules are audited with ``allow_wall_clock=True`` so their
+    RNG discipline is still enforced.  Violation strings are prefixed
+    with the package-relative path so two same-named modules in
+    different subpackages stay distinguishable.
+    """
+    root = Path(__file__).resolve().parents[1]
+    out: List[str] = []
+    for path in repro_sources():
+        rel = path.relative_to(root).as_posix()
+        waived = rel in WALL_CLOCK_WAIVERS
+        tree = ast.parse(path.read_text(), filename=str(path))
+        out.extend(violations(tree, rel, allow_wall_clock=waived))
+    return out

@@ -3,7 +3,10 @@
 Rule IDs are stable (documented in ``docs/lint_rules.md`` and asserted
 by the seeded-violation corpus): ``K1xx`` rules run on a single kernel
 trace, ``P2xx`` rules need the whole :class:`~repro.ttmetal.host.Program`
-(CB configuration, runtime args, L1 layout, DRAM buffers).
+(CB configuration, runtime args, L1 layout, DRAM buffers), ``R3xx``
+rules run on the whole-launch happens-before graph spanning every core
+(:mod:`repro.lint.concurrency`) and carry replayable counterexample
+schedules.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ class Rule:
     rule_id: str
     name: str
     severity: str
-    scope: str          #: "kernel" or "program"
+    scope: str          #: "kernel", "program" or "launch"
     summary: str
     hint: str
     paper_ref: str      #: the paper section/figure that motivates the rule
@@ -116,6 +119,45 @@ _RULE_LIST: List[Rule] = [
        "add the CreateCircularBuffer(program, core, cb_id, ...) call or "
        "fix the CB id; the kernel would raise KernelError at launch",
        "Section IV (host-side CB configuration)"),
+    _r("R301", "cross-core-ww-race", Severity.ERROR, "launch",
+       "two kernels on different cores write overlapping DRAM/L1 byte "
+       "ranges with no happens-before path ordering the writes",
+       "order the writers with a semaphore handshake (inc after a "
+       "noc_async_write_barrier, wait before the second write) or make "
+       "the destination ranges disjoint; the final bytes depend on NoC "
+       "arrival order",
+       "Section VII (multicore decomposition and synchronization)"),
+    _r("R302", "cross-core-wr-race", Severity.ERROR, "launch",
+       "a kernel reads a DRAM/L1 byte range another core writes, with no "
+       "happens-before path between the write's barrier and the read",
+       "signal write completion with semaphore_inc after "
+       "noc_async_write_barrier and semaphore_wait before the read (the "
+       "SEM_COLUMN pattern); an unordered read returns stale or torn "
+       "bytes",
+       "Section VI (semaphore-ordered halo exchange)"),
+    _r("R303", "multicast-overlap-race", Severity.ERROR, "launch",
+       "a NoC multicast's destination L1 window overlaps another "
+       "unordered write to one of the destination cores",
+       "make the multicast window disjoint from per-core unicast "
+       "targets, or order them with a semaphore; overlapping unordered "
+       "landings leave destination cores with mixed payloads",
+       "Section VII (grid-wide NoC traffic)"),
+    _r("R304", "lost-semaphore-signal", Severity.ERROR, "launch",
+       "a semaphore_wait can never be satisfied: no kernel on the "
+       "launch signals that semaphore (or the straight-line signal "
+       "count falls short of the waited-for value)",
+       "add the matching semaphore_inc/semaphore_set on the signalling "
+       "kernel, or lower the wait threshold; the waiter hangs until the "
+       "watchdog kills the launch",
+       "Section VI (SEM_COLUMN signalling protocol)"),
+    _r("R305", "cross-core-deadlock", Severity.ERROR, "launch",
+       "the kernels' semaphore waits and CB handshakes form a circular "
+       "wait across cores: abstract execution blocks every kernel with "
+       "work remaining",
+       "break the cycle by reordering the handshakes (signal before "
+       "wait on one side) or splitting the exchange into phases; the "
+       "launch hangs with every core stalled",
+       "Section VII (cross-core synchronization ordering)"),
 ]
 
 RULES: Dict[str, Rule] = {r.rule_id: r for r in _RULE_LIST}
@@ -127,10 +169,12 @@ def all_rules() -> List[Rule]:
 
 
 def make_finding(rule_id: str, message: str, *, filename: str, lineno: int,
-                 kernel: str, hint: str = None) -> Finding:
+                 kernel: str, hint: str = None,
+                 witness=None) -> Finding:
     """Build a :class:`Finding`, pulling metadata from the registry."""
     rule = RULES[rule_id]
     return Finding(rule_id=rule.rule_id, name=rule.name,
                    severity=rule.severity, message=message,
                    filename=filename, lineno=lineno, kernel=kernel,
-                   hint=hint if hint is not None else rule.hint)
+                   hint=hint if hint is not None else rule.hint,
+                   witness=witness)

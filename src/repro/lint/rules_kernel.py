@@ -35,6 +35,7 @@ _READ_DEST = {
 _WRITE_OPS = frozenset({
     "noc_async_write", "noc_write_buffer", "noc_write_buffer_burst",
     "noc_write_buffer_burst_uniform", "noc_sram_write",
+    "noc_sram_write_multicast",
 })
 
 #: ops that consume pages (used for the K105 "consumed CB" scoping)

@@ -103,9 +103,17 @@ class ArgVal:
 
 @dataclass(frozen=True)
 class NocAddrVal:
-    """A NoC address; ``addr`` is the symbolic DRAM byte address."""
+    """A NoC address; ``addr`` is the symbolic DRAM byte address.
+
+    ``bank`` is the symbolic DRAM bank id when statically known (e.g. a
+    wrapped :class:`NocAddr` constant or an explicit ``NocAddr(bank, addr)``
+    construction) and None otherwise.  An unknown bank keeps the address
+    incomparable across banks, which is the fail-open direction for the
+    cross-core race rules.
+    """
 
     addr: object          #: SymVal
+    bank: object = None   #: SymVal bank id, or None when unknown
 
 
 @dataclass(eq=False, frozen=True)
@@ -133,7 +141,8 @@ def _wrap(value):
     try:
         from repro.ttmetal.kernel_api import NocAddr
         if isinstance(value, NocAddr):     # NamedTuple: test before tuple
-            return NocAddrVal(Const(int(value.addr)))
+            return NocAddrVal(Const(int(value.addr)),
+                              Const(int(value.bank_id)))
     except Exception:           # pragma: no cover - defensive
         pass
     if isinstance(value, tuple):
@@ -158,7 +167,9 @@ def same_value(a, b) -> bool:
     if isinstance(a, ObjVal):
         return a.obj is b.obj
     if isinstance(a, NocAddrVal):
-        return same_value(a.addr, b.addr)
+        if a.bank is None or b.bank is None:
+            return same_value(a.addr, b.addr)
+        return same_value(a.addr, b.addr) and same_value(a.bank, b.bank)
     if isinstance(a, (CbPtr, ArgVal)):
         return a == b
     return False
@@ -733,6 +744,8 @@ class _Extractor:
                     return UNKNOWN
             if isinstance(base, NocAddrVal) and node.attr == "addr":
                 return base.addr
+            if isinstance(base, NocAddrVal) and node.attr == "bank_id":
+                return base.bank if base.bank is not None else UNKNOWN
             return UNKNOWN
         if isinstance(node, ast.Call):
             return self._eval_call(node, frame)
@@ -800,8 +813,9 @@ class _Extractor:
                 NocAddr = None
             if NocAddr is not None and obj is NocAddr and not star:
                 addr = args[1] if len(args) > 1 else kwargs.get("addr")
+                bank = args[0] if len(args) > 0 else kwargs.get("bank_id")
                 if addr is not None:
-                    return NocAddrVal(addr)
+                    return NocAddrVal(addr, bank)
             if obj is len and not star and len(args) == 1:
                 value = const_value(args[0])
                 if isinstance(value, (tuple, str, bytes)):
@@ -851,8 +865,8 @@ def _binop(op, left, right):
         if isinstance(op, (ast.Add, ast.Sub)) and isinstance(base, num) \
                 and isinstance(rv, num):
             delta = rv if isinstance(op, ast.Add) else -rv
-            return NocAddrVal(Const(base + delta))
-        return NocAddrVal(UNKNOWN)
+            return NocAddrVal(Const(base + delta), left.bank)
+        return NocAddrVal(UNKNOWN, left.bank)
     if isinstance(lv, num) and isinstance(rv, num):
         try:
             if isinstance(op, ast.Add):

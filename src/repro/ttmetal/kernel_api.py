@@ -647,6 +647,26 @@ class DataMoverCtx(_CtxBase):
                                 dst_core.sram.view(dst_l1, size))
         self._outstanding_writes.append(ev)
 
+    def noc_sram_write_multicast(self, dst_cores, dst_l1: int, src_l1: int,
+                                 size: int):
+        """Replicate local L1 bytes into the same L1 window of many cores.
+
+        Models tt-metal's ``noc_async_write_multicast`` (the grid-wide
+        scalar/config broadcast pattern): one issue charge, one NoC copy
+        per destination, every completion draining through
+        :meth:`noc_async_write_barrier`.
+        """
+        dsts = list(dst_cores)
+        if not dsts:
+            raise KernelError(
+                "noc_sram_write_multicast needs at least one destination")
+        yield from self._elapse(self.costs.write_issue)
+        src = self.core.sram.view(src_l1, size).copy()
+        for dst in dsts:
+            ev = self.noc.sram_copy(self.link, src,
+                                    dst.sram.view(dst_l1, size))
+            self._outstanding_writes.append(ev)
+
     # -- software memcpy on the data-mover core ---------------------------------
     @staticmethod
     def _copy_misaligned(*addrs: int) -> bool:

@@ -1,0 +1,82 @@
+"""``repro lint`` CLI: exit-code contract, JSON format, --py, --witness.
+
+Exit codes are the load-bearing behaviour: 0 when clean *or*
+warnings-only, 1 only on an error-severity finding or under
+``--strict``.  The full shipped-kernel sweep is exercised by
+``tests/lint/test_clean_shipped.py``; here the fast corpus programs
+drive the CLI paths.
+"""
+
+import json
+
+from repro.cli import main
+
+
+class TestExitCodes:
+    def test_warnings_only_exits_zero(self, capsys):
+        assert main(["lint", "--corpus", "P201"]) == 0
+        out = capsys.readouterr().out
+        assert "P201" in out
+        assert "OK" in out
+
+    def test_strict_promotes_warnings_to_failure(self, capsys):
+        assert main(["lint", "--corpus", "P201", "--strict"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, capsys):
+        assert main(["lint", "--corpus", "R301"]) == 1
+        out = capsys.readouterr().out
+        assert "R301" in out
+        assert "witness" in out
+
+    def test_unknown_corpus_rule_exits_two(self, capsys):
+        assert main(["lint", "--corpus", "R999"]) == 2
+        assert "R999" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    def test_envelope_only_on_stdout(self, capsys):
+        assert main(["lint", "--corpus", "R302", "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-lint/1"
+        assert doc["counts"] == {"errors": 1, "warnings": 0}
+        (f,) = doc["findings"]
+        assert f["rule_id"] == "R302"
+        assert f["witness_digest"]
+
+    def test_json_repeat_runs_byte_identical(self, capsys):
+        main(["lint", "--corpus", "R305", "--format", "json"])
+        first = capsys.readouterr().out
+        main(["lint", "--corpus", "R305", "--format", "json"])
+        assert capsys.readouterr().out == first
+
+    def test_clean_json_exits_zero(self, capsys):
+        assert main(["lint", "--corpus", "P201", "--format", "json",
+                     ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["errors"] == 0
+
+
+class TestAuditAndWitness:
+    def test_py_audit_is_clean(self, capsys):
+        assert main(["lint", "--py"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_py_audit_json(self, capsys):
+        assert main(["lint", "--py", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-lint-py/1"
+        assert doc["violations"] == []
+        assert "bench.py" in doc["wall_clock_waivers"]
+
+    def test_witness_replay_confirms_all(self, capsys):
+        assert main(["lint", "--witness"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("-> confirmed") == 5
+        assert "UNCONFIRMED" not in out
+
+    def test_list_rules_includes_the_launch_family(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R301", "R302", "R303", "R304", "R305"):
+            assert rule_id in out

@@ -1,0 +1,65 @@
+"""The ``repro-lint/1`` envelope: schema stability and byte-identical
+round trips, following the repo's JSON conventions."""
+
+import json
+
+import pytest
+
+from repro import lint
+from repro.lint import corpus_concurrency as corpus
+from repro.lint.export import (
+    SCHEMA,
+    report_from_json,
+    report_to_json,
+    to_json_text,
+)
+from repro.lint.findings import LintReport
+
+
+def _report(rule_id):
+    _dev, prog = corpus.build(rule_id)
+    return lint.lint_program(prog)
+
+
+class TestEnvelope:
+    def test_schema_and_counts(self):
+        doc = report_to_json(_report("R301"))
+        assert doc["schema"] == SCHEMA == "repro-lint/1"
+        assert doc["counts"] == {"errors": 1, "warnings": 0}
+        (f,) = doc["findings"]
+        assert f["rule_id"] == "R301"
+        assert f["witness"]["kind"] == "race"
+        from repro.lint.witness import Witness
+        assert f["witness_digest"] == \
+            Witness.from_json(f["witness"]).digest()
+
+    def test_warning_finding_has_no_witness(self):
+        doc = report_to_json(_report("P201"))
+        assert doc["counts"] == {"errors": 0, "warnings": 1}
+        (f,) = doc["findings"]
+        assert f["witness"] is None and f["witness_digest"] is None
+
+    def test_round_trip_is_byte_identical(self):
+        for rule_id in ("R301", "R304", "P201"):
+            report = _report(rule_id)
+            text = to_json_text(report_to_json(report))
+            rebuilt = report_from_json(json.loads(text))
+            assert to_json_text(report_to_json(rebuilt)) == text
+            assert rebuilt.findings == report.findings
+
+    def test_empty_report_round_trips(self):
+        empty = LintReport(scope="program")
+        text = to_json_text(report_to_json(empty))
+        rebuilt = report_from_json(json.loads(text))
+        assert rebuilt.findings == []
+        assert to_json_text(report_to_json(rebuilt)) == text
+
+    def test_serialization_is_canonical(self):
+        text = to_json_text(report_to_json(_report("R302")))
+        assert text.endswith("\n")
+        assert text == json.dumps(json.loads(text), sort_keys=True,
+                                  indent=1) + "\n"
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="repro-lint/1"):
+            report_from_json({"schema": "repro-faults/1", "findings": []})

@@ -1,71 +1,13 @@
-"""Shared seeded-RNG / wall-clock AST audit.
-
-The determinism contract (byte-identical reports and fault traces
-across repeat runs, ``-j`` settings and replay) only holds if every
-source of variation in simulated-time code is an explicit
-``random.Random(seed)``.  :func:`violations` walks a module's AST and
-reports:
-
-* any import of ``time`` or ``datetime`` (wall-clock vocabulary);
-* any call through the ``random`` *module* other than the seeded
-  constructor ``random.Random(...)`` — so ``random.random()``,
-  ``random.choice()`` etc. (which share mutable global state) are out;
-* unseeded NumPy generators (``numpy.random.default_rng()`` with no
-  argument, or legacy ``numpy.random.<dist>`` calls).
-
-Per-package test modules (``tests/serve/test_rng_audit.py``,
-``tests/faults/test_rng_audit.py``) parametrise over
-:func:`package_sources` and assert the violation list is empty.
+"""Thin wrapper: the seeded-RNG / wall-clock audit now lives in
+:mod:`repro.lint.pysource` (exposed as ``repro lint --py``), which
+sweeps all of ``src/repro`` recursively.  Older per-package tests
+(``tests/serve/test_rng_audit.py``, ``tests/faults/test_rng_audit.py``)
+import the helpers from here; keep re-exporting them.
 """
 
-import ast
-from pathlib import Path
-from typing import List
-
-FORBIDDEN_IMPORTS = {"time", "datetime"}
-
-
-def package_sources(package) -> List[Path]:
-    """Every ``*.py`` directly inside an imported package."""
-    return sorted(Path(package.__file__).parent.glob("*.py"))
-
-
-def violations(tree: ast.AST, filename: str) -> List[str]:
-    out = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                root = alias.name.split(".")[0]
-                if root in FORBIDDEN_IMPORTS:
-                    out.append(f"{filename}:{node.lineno}: "
-                               f"imports wall-clock module {alias.name!r}")
-        elif isinstance(node, ast.ImportFrom):
-            root = (node.module or "").split(".")[0]
-            if root in FORBIDDEN_IMPORTS:
-                out.append(f"{filename}:{node.lineno}: "
-                           f"imports from wall-clock module {node.module!r}")
-        elif isinstance(node, ast.Call):
-            func = node.func
-            if not isinstance(func, ast.Attribute):
-                continue
-            target = func.value
-            # random.<anything but the seeded constructor>(...)
-            if isinstance(target, ast.Name) and target.id == "random" \
-                    and func.attr != "Random":
-                out.append(f"{filename}:{node.lineno}: "
-                           f"global-state call random.{func.attr}()")
-            # numpy.random.default_rng() unseeded / legacy np.random.*
-            if isinstance(target, ast.Attribute) \
-                    and target.attr == "random" \
-                    and isinstance(target.value, ast.Name) \
-                    and target.value.id in ("np", "numpy"):
-                if func.attr != "default_rng" or not node.args:
-                    out.append(f"{filename}:{node.lineno}: "
-                               f"unseeded numpy.random.{func.attr}()")
-    return out
-
-
-def audit_source(path: Path) -> List[str]:
-    """Parse one file and return its violation list."""
-    tree = ast.parse(path.read_text(), filename=str(path))
-    return violations(tree, path.name)
+from repro.lint.pysource import (  # noqa: F401
+    FORBIDDEN_IMPORTS,
+    audit_source,
+    package_sources,
+    violations,
+)

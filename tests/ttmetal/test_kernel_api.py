@@ -309,3 +309,60 @@ class TestCbAndSemaphores:
             yield ctx.sim.timeout(0)
         launch(device, [(k, DATA_MOVER_0, {})])
         assert seen["v"] == 7
+
+
+class TestSramWriteMulticast:
+    def test_replicates_bytes_to_every_destination(self, device):
+        grid = device.worker_grid(1, 3)[0]
+        sender, dst_a, dst_b = grid
+
+        def mcast(ctx):
+            dsts = ctx.arg("dsts")
+            src = ctx.core.sram.allocate(64, align=32)
+            ctx.core.sram.view(src, 64)[:] = 0xA5
+            yield from ctx.noc_sram_write_multicast(dsts, 0x9000, src, 64)
+            yield from ctx.noc_async_write_barrier()
+
+        prog = Program(device)
+        CreateKernel(prog, mcast, sender, DATA_MOVER_0,
+                     {"dsts": [dst_a, dst_b]})
+        EnqueueProgram(device, prog)
+        wall = Finish(device)
+        assert wall > 0
+        for dst in (dst_a, dst_b):
+            assert (dst.sram.view(0x9000, 64) == 0xA5).all()
+        # the source core's own window is untouched
+        assert not (sender.sram.view(0x9000, 64) == 0xA5).all()
+
+    def test_multicast_waits_at_the_write_barrier(self, device):
+        """The replicated writes are async: the barrier must cover all
+        of them, so bytes are visible right after it inside the kernel."""
+        grid = device.worker_grid(1, 3)[0]
+        sender, dst_a, dst_b = grid
+        seen = {}
+
+        def mcast(ctx):
+            dsts = ctx.arg("dsts")
+            src = ctx.core.sram.allocate(32, align=32)
+            ctx.core.sram.view(src, 32)[:] = 0x5A
+            yield from ctx.noc_sram_write_multicast(dsts, 0x400, src, 32)
+            yield from ctx.noc_async_write_barrier()
+            seen["landed"] = [bool((d.sram.view(0x400, 32) == 0x5A).all())
+                              for d in dsts]
+
+        prog = Program(device)
+        CreateKernel(prog, mcast, sender, DATA_MOVER_0,
+                     {"dsts": [dst_a, dst_b]})
+        EnqueueProgram(device, prog)
+        Finish(device)
+        assert seen["landed"] == [True, True]
+
+    def test_empty_destination_list_is_a_kernel_error(self, device):
+        def bad(ctx):
+            src = ctx.core.sram.allocate(32, align=32)
+            yield from ctx.noc_sram_write_multicast([], 0x400, src, 32)
+
+        with pytest.raises(Exception) as ei:
+            launch(device, [(bad, DATA_MOVER_0, {})], lint="off")
+        assert isinstance(ei.value.__cause__, KernelError)
+        assert "destination" in str(ei.value.__cause__)
