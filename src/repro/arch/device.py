@@ -76,6 +76,18 @@ class GrayskullDevice:
     def n_workers(self) -> int:
         return len(self._workers)
 
+    def release_launch_state(self) -> None:
+        """Tear down the previous program so another can launch.
+
+        Frees every core's CBs/semaphores/L1 and rewinds the DRAM
+        allocator — what destroying a tt-metal Program plus its buffers
+        does.  The simulated clock, energy meter and utilisation counters
+        keep accumulating across launches; injected faults survive.
+        """
+        for core in self._cores.values():
+            core.release_launch_state()
+        self.dram.reset_allocator()
+
     def worker_grid(self, cores_y: int, cores_x: int) -> List[List[TensixCore]]:
         """Place a ``cores_y × cores_x`` decomposition onto physical cores.
 

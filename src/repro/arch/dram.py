@@ -246,6 +246,16 @@ class Dram:
         self._bank_brk[bank_id] = addr + size
         return bank_id, addr
 
+    def reset_allocator(self) -> None:
+        """Return every buffer to the allocator (program teardown).
+
+        Bank storage is untouched; only the bump pointers and the
+        round-robin cursor rewind, so the next launch's buffers reuse the
+        same addresses.  Callers must be done reading the old buffers.
+        """
+        self._bank_brk = [0] * len(self.banks)
+        self._next_bank = 0
+
     def allocate_interleaved(self, size: int, page_size: int) -> list[tuple[int, int]]:
         """Reserve page slots round-robin across all banks.
 

@@ -43,6 +43,17 @@ class Sram:
     def free(self) -> int:
         return self.capacity - self._brk
 
+    def reset(self) -> None:
+        """Free every allocation above the reserved firmware region.
+
+        Program teardown: tt-metal returns a program's L1 (CB windows,
+        scratch slabs) to the allocator when the program is destroyed, so
+        a device can run launch after launch.  Memory contents are left
+        in place — the next program must initialise what it reads.
+        """
+        self._brk = self.RESERVED
+        self.regions.clear()
+
     def allocate(self, size: int, align: int = 32,
                  label: str = "slab") -> int:
         """Reserve ``size`` bytes; returns the base address."""

@@ -95,6 +95,19 @@ class TensixCore:
         """Host-side L1 scratch allocation (local read buffers etc.)."""
         return self.sram.allocate(size, align=align)
 
+    def release_launch_state(self) -> None:
+        """Tear down one program's footprint on this core.
+
+        Clears the CB/semaphore tables and frees the program's L1 so the
+        next launch can configure the core from scratch (repeated
+        launches on a persistent device, e.g. the cluster solver's
+        one-launch-per-iteration loop).  Utilisation counters and any
+        injected hang/failure state survive — a dead core stays dead.
+        """
+        self.cbs.clear()
+        self.semaphores.clear()
+        self.sram.reset()
+
     # -- fault injection -----------------------------------------------------
     def inject_hang(self, slot: str) -> None:
         """Hang one kernel slot: its next API call blocks forever.

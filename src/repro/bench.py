@@ -328,6 +328,46 @@ def _bench_chaos_smoke(smoke: bool) -> Tuple[float, float,
     return wall, wall, inv
 
 
+def _bench_cluster_smoke(smoke: bool) -> Tuple[float, float,
+                                               Dict[str, object]]:
+    """Multi-card macro scenario: a weak-scaling sweep with the
+    differential check inside every point.
+
+    One model-timed weak sweep over 1/2/4 cards (each point solves the
+    decomposed problem *and* the single-card reference, asserting
+    bit-identity), rendered to the byte-stable report.  The invariants
+    pin the report and JSON SHA-256 plus the headline numbers — every
+    point bit-identical, total halo bytes, the 4-card wall time — so
+    any drift in the decomposition, exchange order, halo cost model or
+    report rendering is a semantic change, not noise.
+    """
+    import hashlib
+
+    from repro.cluster import (cluster_sweep_configs, doc_to_json,
+                               render_cluster_report, run_cluster_sweep,
+                               sweep_to_doc)
+
+    base = 32 if smoke else 64
+    configs = cluster_sweep_configs("weak", (1, 2, 4), base_nx=base,
+                                    base_ny=base, iterations=4)
+    t0 = time.perf_counter()
+    # jobs=1 / cache=False: no nested pools or sweep-cache hits inside
+    # a timed benchmark repetition.
+    points = run_cluster_sweep(configs, jobs=1, cache=False)
+    wall = time.perf_counter() - t0
+    report = render_cluster_report("weak", points)
+    text = doc_to_json(sweep_to_doc("weak", points))
+    inv = {
+        "report_sha": hashlib.sha256(report.encode()).hexdigest()[:16],
+        "json_sha": hashlib.sha256(text.encode()).hexdigest()[:16],
+        "points": len(points),
+        "bit_identical": sum(1 for p in points if p["bit_identical"]),
+        "exchange_bytes": sum(p["exchange_bytes"] for p in points),
+        "wall_4card_s": round(points[-1]["wall_time_s"], 12),
+    }
+    return wall, wall, inv
+
+
 def _bench_lint_smoke(smoke: bool) -> Tuple[float, float,
                                             Dict[str, object]]:
     """Whole-program lint wall time over the shipped Jacobi programs.
@@ -389,6 +429,7 @@ BENCHMARKS: Dict[str, Tuple[str, str, str, bool, Callable]] = {
     "stream_sweep": ("macro", "wall_s", "s", False, _bench_stream_sweep),
     "serve_smoke": ("macro", "wall_s", "s", False, _bench_serve_smoke),
     "chaos_smoke": ("macro", "wall_s", "s", False, _bench_chaos_smoke),
+    "cluster_smoke": ("macro", "wall_s", "s", False, _bench_cluster_smoke),
     "lint_smoke": ("macro", "wall_s", "s", False, _bench_lint_smoke),
 }
 

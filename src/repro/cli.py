@@ -12,6 +12,7 @@ Commands
 ``bench``    run the perf benchmark suite, emit BENCH_<date>.json
 ``sweep``    run a streaming sweep through the parallel engine
 ``serve``    multi-tenant solve service: load test, replay, chaos campaign
+``cluster``  multi-card halo-exchange solver: one config or scaling sweep
 
 Sweep-producing commands (``table``, ``sweep``, ``faults``, ``bench``)
 accept a global ``-j/--jobs N`` flag that fans their independent,
@@ -47,6 +48,8 @@ Examples::
     python -m repro serve replay trace.jsonl
     python -m repro serve chaos --seed 0 --requests 48 --intensities 0.5,1,2
     python -m repro faults --seed 7 --trace-json trace.json
+    python -m repro cluster solve --cards 2x2 --nx 64 --ny 64 --check
+    python -m repro cluster sweep --mode weak --cards 1,2,4,8,16 -j 4
 """
 
 from __future__ import annotations
@@ -298,6 +301,54 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--replay-check", action="store_true",
                     help="run the campaign twice (cache off) and require "
                          "byte-identical documents")
+
+    cl = sub.add_parser(
+        "cluster",
+        help="multi-card solver with host-staged halo exchange",
+        description="Partition the global grid over N simulated e150s, "
+                    "exchange halos between iterations through the host "
+                    "(PCIe readback, host memcpy, PCIe writeback), and "
+                    "verify the stitched answer is bit-identical to the "
+                    "single-card reference.  See docs/cluster.md.")
+    clsub = cl.add_subparsers(dest="cluster_command", required=True)
+    cs = clsub.add_parser("solve", parents=[par],
+                          help="run one multi-card configuration")
+    cs.add_argument("--nx", type=int, default=64)
+    cs.add_argument("--ny", type=int, default=64)
+    cs.add_argument("--iterations", type=int, default=16)
+    cs.add_argument("--cards", default="2x1", metavar="CYxCX",
+                    help="card decomposition grid (default 2x1)")
+    cs.add_argument("--cores", default="1x1", metavar="CYxCX",
+                    help="per-card core grid used for timing")
+    cs.add_argument("--timing", default="model", choices=["model", "des"],
+                    help="Tier-2 analytic model or per-card DES launches")
+    cs.add_argument("--exchange", default="staged",
+                    choices=["staged", "none"],
+                    help="host-staged halo exchange, or the paper's "
+                         "frozen-halo multi-card mode")
+    cs.add_argument("--checkpoint-every", type=int, default=0,
+                    help="host checkpoint cadence for card-failure "
+                         "restart (0 = disabled)")
+    cs.add_argument("--check", action="store_true",
+                    help="verify bit-identity against the single-card "
+                         "reference; exit 1 on mismatch")
+    cw = clsub.add_parser("sweep", parents=[par],
+                          help="weak/strong scaling over card counts")
+    cw.add_argument("--mode", default="weak", choices=["weak", "strong"])
+    cw.add_argument("--cards", default="1,2,4,8,16",
+                    help="comma-separated card counts")
+    cw.add_argument("--nx", type=int, default=64,
+                    help="per-card (weak) or global (strong) width")
+    cw.add_argument("--ny", type=int, default=64,
+                    help="per-card (weak) or global (strong) height")
+    cw.add_argument("--iterations", type=int, default=8)
+    cw.add_argument("--split", default="1d", choices=["1d", "2d"],
+                    help="Y-only cuts or near-square 2D card grids")
+    cw.add_argument("--timing", default="model", choices=["model", "des"])
+    cw.add_argument("--exchange", default="staged",
+                    choices=["staged", "none"])
+    cw.add_argument("--out", default=None,
+                    help="write the JSON report (schema repro-cluster/1)")
     return p
 
 
@@ -848,6 +899,87 @@ def _cmd_serve_chaos(args, jobs, cache, progress) -> int:
     return 1 if doc["violations_total"] else 0
 
 
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "solve":
+        return _cmd_cluster_solve(args)
+    return _cmd_cluster_sweep(args)
+
+
+def _cmd_cluster_solve(args) -> int:
+    import numpy as np
+
+    from repro.cluster import ClusterConfig, ClusterSolver
+
+    cy, _, cx = args.cards.partition("x")
+    ky, _, kx = args.cores.partition("x")
+    cfg = ClusterConfig(
+        nx=args.nx, ny=args.ny, iterations=args.iterations,
+        cards_y=int(cy), cards_x=int(cx or 1),
+        cores_y=int(ky), cores_x=int(kx or 1),
+        timing=args.timing, exchange=args.exchange,
+        checkpoint_every=args.checkpoint_every)
+    res = ClusterSolver(cfg).solve()
+    print(f"cards   {cfg.cards_y}x{cfg.cards_x} ({cfg.n_cards} card(s)), "
+          f"cores {cfg.cores_y}x{cfg.cores_x}/card, "
+          f"timing {cfg.timing}, exchange {cfg.exchange}")
+    print(f"wall    {res.wall_time_s:.6g} s")
+    print(f"rate    {res.gpts:.4f} GPt/s")
+    print(f"energy  {res.energy_j:.4g} J")
+    print(f"stall   {sum(res.stall_s):.6g} s summed over cards "
+          f"(host staging {res.host_stage_s:.6g} s)")
+    ex = res.exchange
+    print(f"halo    {ex.n_strips} strip(s), {ex.bytes_moved} B staged: "
+          f"readback {ex.readback_s:.6g} s, memcpy {ex.memcpy_s:.6g} s, "
+          f"writeback {ex.writeback_s:.6g} s")
+    if res.restarts:
+        print(f"faults  {res.restarts} restart(s), failed cards "
+              f"{list(res.failed_cards)}")
+    if args.check:
+        from repro.core.grid import LaplaceProblem
+        from repro.cpu.jacobi import jacobi_solve_bf16
+
+        ref = jacobi_solve_bf16(
+            LaplaceProblem(nx=cfg.nx, ny=cfg.ny).initial_grid_bf16(),
+            cfg.iterations)
+        ok = bool(np.array_equal(res.grid_bits, ref))
+        print(f"check   multi-card vs single-card reference: "
+              f"{'bit-identical' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    return 0
+
+
+def _cmd_cluster_sweep(args) -> int:
+    import time
+
+    from repro.cluster import (cluster_sweep_configs, doc_to_json,
+                               render_cluster_report, sweep_to_doc)
+    from repro.parallel import JobSpec, SweepJobError, run_jobs, summary_line
+
+    jobs, cache = _parallel_opts(args)
+    cards = [int(c) for c in args.cards.split(",") if c]
+    configs = cluster_sweep_configs(
+        args.mode, cards, base_nx=args.nx, base_ny=args.ny,
+        iterations=args.iterations, split=args.split, timing=args.timing,
+        exchange=args.exchange)
+    specs = [JobSpec("cluster", cfg) for cfg in configs]
+    t0 = time.perf_counter()
+    outcomes = run_jobs(specs, jobs=jobs, cache=cache,
+                        progress=lambda m: print(m, file=sys.stderr))
+    wall = time.perf_counter() - t0
+    failures = [o for o in outcomes if not o.record.ok]
+    if failures:
+        raise SweepJobError(failures)
+    points = [o.result for o in outcomes]
+    print(render_cluster_report(args.mode, points))
+    print(summary_line(outcomes, wall), file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(doc_to_json(sweep_to_doc(args.mode, points)))
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     jobs = getattr(args, "jobs", None)
@@ -867,6 +999,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
     }[args.command]
     try:
         return handler(args)

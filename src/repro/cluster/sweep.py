@@ -1,0 +1,128 @@
+"""Weak/strong scaling sweeps over simulated card counts.
+
+Every sweep point is one :class:`ClusterConfig` run through the
+``"cluster"`` job kind of :mod:`repro.parallel`, so points fan out over
+worker processes (``-j N`` byte-identical to ``-j 1``), land in the
+content-addressed cache, and come back in submission order.  Each point
+also re-solves the single-card BF16 reference and records whether the
+multi-card answer matched it **to the bit** — the differential check
+rides inside every scaling run, not just the test suite.
+
+Reports are schema-stable (``repro-cluster/1``) and contain only
+simulated quantities — no wall-clock, no dates — so repeat runs are
+byte-identical (the CI ``cluster-smoke`` job ``cmp``-gates this).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional
+
+from repro.cluster.solver import ClusterConfig
+from repro.cluster.topology import card_splits
+
+__all__ = [
+    "SWEEP_SCHEMA",
+    "cluster_sweep_configs",
+    "doc_to_json",
+    "render_cluster_report",
+    "run_cluster_sweep",
+    "sweep_to_doc",
+]
+
+SWEEP_SCHEMA = "repro-cluster/1"
+
+
+def cluster_sweep_configs(mode: str, cards: Iterable[int], *,
+                          base_nx: int = 64, base_ny: int = 64,
+                          iterations: int = 8, split: str = "1d",
+                          timing: str = "model",
+                          cores: tuple = (1, 1),
+                          exchange: str = "staged") -> List[ClusterConfig]:
+    """Build the configs of one scaling sweep.
+
+    ``mode="weak"`` holds the per-card block at ``base_ny × base_nx`` and
+    grows the global domain with the card count; ``mode="strong"`` holds
+    the global domain fixed at ``base_ny × base_nx``.  ``split="1d"``
+    cuts in Y only; ``split="2d"`` uses the near-square factorisation of
+    each card count.
+    """
+    if mode not in ("weak", "strong"):
+        raise ValueError(f"mode must be 'weak' or 'strong', got {mode!r}")
+    if split not in ("1d", "2d"):
+        raise ValueError(f"split must be '1d' or '2d', got {split!r}")
+    configs = []
+    for n in cards:
+        cy, cx = (n, 1) if split == "1d" else card_splits(n)
+        if mode == "weak":
+            nx, ny = base_nx * cx, base_ny * cy
+        else:
+            nx, ny = base_nx, base_ny
+        configs.append(ClusterConfig(
+            nx=nx, ny=ny, iterations=iterations, cards_y=cy, cards_x=cx,
+            cores_y=cores[0], cores_x=cores[1], timing=timing,
+            exchange=exchange))
+    return configs
+
+
+def run_cluster_sweep(configs: List[ClusterConfig],
+                      jobs: Optional[int] = None,
+                      cache=None, progress=None) -> List[dict]:
+    """Run the sweep through the parallel engine; returns point payloads."""
+    from repro.parallel import JobSpec, sweep_results
+
+    specs = [JobSpec("cluster", cfg) for cfg in configs]
+    return sweep_results(specs, jobs=jobs, cache=cache, progress=progress)
+
+
+def sweep_to_doc(mode: str, points: List[dict]) -> dict:
+    """Schema-stable JSON document for one sweep (no wall-clock fields)."""
+    return {"schema": SWEEP_SCHEMA, "mode": mode, "points": points}
+
+
+def doc_to_json(doc: dict) -> str:
+    """Canonical rendering: sorted keys, newline-terminated."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def _efficiency(mode: str, point: dict, base: dict) -> float:
+    """Scaling efficiency vs the smallest-card-count point.
+
+    Weak scaling: ideal keeps the wall flat while the problem grows, so
+    ``eff = wall_base / wall_n``.  Strong scaling: ideal divides the wall
+    by the card ratio, so ``eff = wall_base / (ratio · wall_n)``.
+    """
+    ratio = point["n_cards"] / base["n_cards"]
+    if point["wall_time_s"] <= 0:
+        return 0.0
+    if mode == "weak":
+        return base["wall_time_s"] / point["wall_time_s"]
+    return base["wall_time_s"] / (ratio * point["wall_time_s"])
+
+
+def render_cluster_report(mode: str, points: List[dict]) -> str:
+    """Text table of one scaling sweep (byte-stable)."""
+    lines = [f"{mode}-scaling sweep over {len(points)} card configuration(s) "
+             f"(halo exchange: {points[0]['exchange'] if points else '-'}, "
+             f"timing: {points[0]['timing'] if points else '-'})",
+             f"{'cards':>7} {'grid':>12} {'wall (ms)':>11} {'GPt/s':>8} "
+             f"{'eff %':>6} {'stall %':>8} {'exch %':>7} {'energy (J)':>11} "
+             f"bit-identical"]
+    base = points[0] if points else None
+    for p in points:
+        wall = p["wall_time_s"]
+        stall_frac = (p["stall_total_s"] / (wall * p["n_cards"]) * 100
+                      if wall > 0 else 0.0)
+        exch_frac = (p["exchange_total_s"] / wall * 100 if wall > 0 else 0.0)
+        eff = _efficiency(mode, p, base) * 100
+        lines.append(
+            f"{p['cards_y']}x{p['cards_x']:<4}".rjust(7)
+            + f" {p['ny']}x{p['nx']}".rjust(13)
+            + f" {wall * 1e3:>11.4f} {p['gpts']:>8.3f} {eff:>6.1f} "
+            + f"{stall_frac:>8.2f} {exch_frac:>7.2f} "
+            + f"{p['energy_j']:>11.4f} "
+            + ("yes" if p["bit_identical"] else "NO"))
+    identical = sum(1 for p in points if p["bit_identical"])
+    lines.append(f"differential check: {identical}/{len(points)} point(s) "
+                 f"bit-identical to the single-card reference")
+    return "\n".join(lines)

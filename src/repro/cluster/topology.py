@@ -1,0 +1,156 @@
+"""Card-level domain decomposition: blocks, face strips, reassembly.
+
+A cluster decomposition reuses :func:`repro.core.decomposition.split_domain`
+at the *card* level: the global ``ny × nx`` interior is cut into a
+``cards_y × cards_x`` grid of :class:`SubDomain` blocks.  Each card owns a
+private halo grid of shape ``(ny_c + 2, nx_c + 2)`` — its interior block
+plus one ring — exactly the layout the single-card kernels use.
+
+Halo exchange moves **face strips** only.  The 5-point stencil at interior
+point ``(1, 1)`` of a block reads ``(0, 1)``, ``(2, 1)``, ``(1, 0)`` and
+``(1, 2)`` but never the ring corner ``(0, 0)``, so refreshing the N/S/E/W
+faces (and leaving corners stale) is sufficient for the decomposed sweep
+to be bit-identical to the global one — 2D card grids included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.decomposition import SubDomain, split_domain
+
+__all__ = [
+    "FaceStrip",
+    "apply_exchange",
+    "card_splits",
+    "exchange_strips",
+    "extract_block",
+    "insert_block",
+    "plan_cards",
+    "reassemble",
+]
+
+
+def plan_cards(nx: int, ny: int, cards_y: int, cards_x: int
+               ) -> List[List[SubDomain]]:
+    """Card decomposition of the global interior (``grid[iy][ix]``).
+
+    Raises ``ValueError`` when there are more cards than rows/columns —
+    the same contract as the core-level split.
+    """
+    return split_domain(nx, ny, cards_y, cards_x)
+
+
+def card_splits(n_cards: int) -> Tuple[int, int]:
+    """Near-square ``(cards_y, cards_x)`` factorisation of ``n_cards``.
+
+    Prefers the factor pair closest to square with ``cards_y >= cards_x``
+    (cuts in Y are cheaper: face strips are contiguous rows).  Prime
+    counts degrade to a 1D Y split.
+    """
+    if n_cards <= 0:
+        raise ValueError("n_cards must be positive")
+    best = (n_cards, 1)
+    for cx in range(1, int(n_cards ** 0.5) + 1):
+        if n_cards % cx == 0:
+            best = (n_cards // cx, cx)
+    return best
+
+
+def extract_block(grid: np.ndarray, sub: SubDomain) -> np.ndarray:
+    """One card's private halo grid: its block plus one ring, copied.
+
+    ``grid`` is the global halo grid ``(ny+2, nx+2)``; the slice below is
+    exactly the block interior with the surrounding ring (global
+    boundaries where the block touches the domain edge, neighbouring
+    cards' rows elsewhere).
+    """
+    return grid[sub.y0:sub.y0 + sub.ny + 2,
+                sub.x0:sub.x0 + sub.nx + 2].copy()
+
+
+def insert_block(out: np.ndarray, sub: SubDomain, block: np.ndarray) -> None:
+    """Write a card block's interior back into the global halo grid."""
+    if block.shape != (sub.ny + 2, sub.nx + 2):
+        raise ValueError(
+            f"block shape {block.shape} does not match sub-domain "
+            f"({sub.ny + 2}, {sub.nx + 2})")
+    out[sub.y0 + 1:sub.y0 + sub.ny + 1,
+        sub.x0 + 1:sub.x0 + sub.nx + 1] = block[1:-1, 1:-1]
+
+
+def reassemble(grid0: np.ndarray, cards: List[List[SubDomain]],
+               blocks: Dict[Tuple[int, int], np.ndarray]) -> np.ndarray:
+    """Stitch per-card blocks into a full halo grid (boundaries from
+    ``grid0``)."""
+    out = np.asarray(grid0).copy()
+    for row in cards:
+        for sub in row:
+            insert_block(out, sub, blocks[(sub.iy, sub.ix)])
+    return out
+
+
+@dataclass(frozen=True)
+class FaceStrip:
+    """One directed halo transfer: ``src`` card's face → ``dst`` card's ring.
+
+    ``face`` names the side *of the destination ring* being refreshed
+    ("n", "s", "w", "e"); ``elems`` is the strip length in elements.  The
+    strip carries interior values only — ring corners are never read by
+    the 5-point stencil, so they are never shipped.
+    """
+
+    src: Tuple[int, int]
+    dst: Tuple[int, int]
+    face: str
+    elems: int
+
+
+def exchange_strips(cards: List[List[SubDomain]]) -> List[FaceStrip]:
+    """Every directed face strip one halo-exchange round must move.
+
+    Deterministic order: row-major over destination cards, faces in
+    n/s/w/e order — the order the host stages the copies in, and the
+    order every report renders.
+    """
+    cy, cx = len(cards), len(cards[0])
+    strips: List[FaceStrip] = []
+    for iy in range(cy):
+        for ix in range(cx):
+            sub = cards[iy][ix]
+            if iy > 0:
+                strips.append(FaceStrip((iy - 1, ix), (iy, ix), "n", sub.nx))
+            if iy < cy - 1:
+                strips.append(FaceStrip((iy + 1, ix), (iy, ix), "s", sub.nx))
+            if ix > 0:
+                strips.append(FaceStrip((iy, ix - 1), (iy, ix), "w", sub.ny))
+            if ix < cx - 1:
+                strips.append(FaceStrip((iy, ix + 1), (iy, ix), "e", sub.ny))
+    return strips
+
+
+def apply_exchange(cards: List[List[SubDomain]],
+                   blocks: Dict[Tuple[int, int], np.ndarray]) -> int:
+    """Refresh every block's ring faces from its neighbours' interiors.
+
+    Returns the number of elements moved (for the cost model).  This is
+    the functional half of the halo exchange; the timing half lives in
+    :mod:`repro.cluster.halo`.
+    """
+    moved = 0
+    for strip in exchange_strips(cards):
+        src = blocks[strip.src]
+        dst = blocks[strip.dst]
+        if strip.face == "n":
+            dst[0, 1:-1] = src[-2, 1:-1]     # neighbour's last interior row
+        elif strip.face == "s":
+            dst[-1, 1:-1] = src[1, 1:-1]     # neighbour's first interior row
+        elif strip.face == "w":
+            dst[1:-1, 0] = src[1:-1, -2]     # neighbour's last interior col
+        else:
+            dst[1:-1, -1] = src[1:-1, 1]     # neighbour's first interior col
+        moved += strip.elems
+    return moved

@@ -25,6 +25,7 @@ from repro.faults.campaign import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    CardFailure,
     CoreFailure,
     DramBitFlip,
     FaultPlan,
@@ -36,6 +37,7 @@ from repro.faults.plan import (
 
 __all__ = [
     "CampaignConfig",
+    "CardFailure",
     "CoreFailure",
     "DramBitFlip",
     "FaultInjector",

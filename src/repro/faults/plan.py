@@ -21,6 +21,7 @@ __all__ = [
     "PcieCorruption",
     "SolverBitFlip",
     "CoreFailure",
+    "CardFailure",
     "FaultPlan",
 ]
 
@@ -88,6 +89,22 @@ class CoreFailure:
 
 
 @dataclass(frozen=True)
+class CardFailure:
+    """Cluster card ``(iy, ix)`` dies before computing ``iteration``.
+
+    The card-level analogue of :class:`CoreFailure`: ``(iy, ix)`` is a
+    coordinate in the ``cards_y × cards_x`` decomposition of
+    :class:`repro.cluster.ClusterSolver`, which either remaps the dead
+    card's block onto a survivor (checkpointing enabled) or sheds loudly
+    with ``CardFailedError``.
+    """
+
+    iteration: int
+    iy: int
+    ix: int
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything a campaign will inject, as immutable tuples."""
 
@@ -98,6 +115,7 @@ class FaultPlan:
     pcie: Tuple[PcieCorruption, ...] = ()
     solver: Tuple[SolverBitFlip, ...] = ()
     core_failures: Tuple[CoreFailure, ...] = ()
+    card_failures: Tuple[CardFailure, ...] = ()
 
     @classmethod
     def generate(cls, seed: int, *,
@@ -107,6 +125,7 @@ class FaultPlan:
                  n_pcie: int = 0,
                  n_solver_flips: int = 0,
                  n_core_failures: int = 0,
+                 n_card_failures: int = 0,
                  horizon_s: float = 1e-3,
                  n_banks: int = 8,
                  bank_bytes: int = 1 << 20,
@@ -114,6 +133,7 @@ class FaultPlan:
                  iterations: int = 100,
                  interior: Tuple[int, int] = (64, 64),
                  cores: Tuple[int, int] = (1, 1),
+                 cards: Tuple[int, int] = (1, 1),
                  pcie_transfers: int = 8) -> "FaultPlan":
         """Draw a plan from one seed (``random.Random``, no wall-clock).
 
@@ -167,15 +187,29 @@ class FaultPlan:
             failures.append(CoreFailure(
                 iteration=rng.randrange(max(1, iterations)), iy=iy, ix=ix))
         failures.sort(key=lambda f: (f.iteration, f.iy, f.ix))
+        card_failures = []
+        seen_cards = set()
+        # Same draw discipline as core failures: distinct targets, at
+        # least one card always survives.
+        while len(card_failures) < min(n_card_failures,
+                                       cards[0] * cards[1] - 1):
+            iy, ix = rng.randrange(cards[0]), rng.randrange(cards[1])
+            if (iy, ix) in seen_cards:
+                continue
+            seen_cards.add((iy, ix))
+            card_failures.append(CardFailure(
+                iteration=rng.randrange(max(1, iterations)), iy=iy, ix=ix))
+        card_failures.sort(key=lambda f: (f.iteration, f.iy, f.ix))
         return cls(seed=seed, dram=dram, noc=noc, hangs=hangs, pcie=pcie,
-                   solver=solver, core_failures=tuple(failures))
+                   solver=solver, core_failures=tuple(failures),
+                   card_failures=tuple(card_failures))
 
     # -- introspection ----------------------------------------------------
     @property
     def n_faults(self) -> int:
         return (len(self.dram) + len(self.noc) + len(self.hangs)
                 + len(self.pcie) + len(self.solver)
-                + len(self.core_failures))
+                + len(self.core_failures) + len(self.card_failures))
 
     def to_dict(self) -> dict:
         """JSON-ready rendering (stable key order)."""
@@ -189,6 +223,7 @@ class FaultPlan:
             "pcie": [row(f) for f in self.pcie],
             "solver": [row(f) for f in self.solver],
             "core_failures": [row(f) for f in self.core_failures],
+            "card_failures": [row(f) for f in self.card_failures],
         }
 
     @classmethod
@@ -213,11 +248,13 @@ class FaultPlan:
                    hangs=rows("hangs", KernelHang),
                    pcie=rows("pcie", PcieCorruption),
                    solver=rows("solver", SolverBitFlip),
-                   core_failures=rows("core_failures", CoreFailure))
+                   core_failures=rows("core_failures", CoreFailure),
+                   card_failures=rows("card_failures", CardFailure))
 
     def describe(self) -> str:
         return (f"FaultPlan(seed={self.seed}): "
                 f"{len(self.dram)} DRAM flip(s), {len(self.noc)} NoC "
                 f"fault(s), {len(self.hangs)} hang(s), {len(self.pcie)} "
                 f"PCIe corruption(s), {len(self.solver)} solver flip(s), "
-                f"{len(self.core_failures)} core failure(s)")
+                f"{len(self.core_failures)} core failure(s), "
+                f"{len(self.card_failures)} card failure(s)")

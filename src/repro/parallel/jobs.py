@@ -23,7 +23,9 @@ a warmed cache produces byte-identical reports.
 
 Built-in kinds: ``stream`` (one streaming configuration), ``campaign``
 (one seeded fault-injection campaign), ``table8`` (one Table VIII row),
-``bench_invariants`` (one benchmark's determinism invariants).  Custom
+``bench_invariants`` (one benchmark's determinism invariants),
+``cluster`` (one multi-card scaling point with its differential
+bit-identity check).  Custom
 kinds can be registered with :func:`register_kind`; they must live in an
 importable module (workers resolve kinds by name).
 """
@@ -259,7 +261,52 @@ def _bench_from_payload(config, seed, payload):
     return payload["invariants"]
 
 
+def _run_cluster(config, seed) -> Tuple[dict, dict]:
+    from repro.cluster.solver import ClusterSolver
+    from repro.core.grid import LaplaceProblem
+    from repro.cpu.jacobi import jacobi_solve_bf16
+
+    import numpy as np
+
+    res = ClusterSolver(config).solve()
+    # The differential check rides inside every sweep point: the stitched
+    # multi-card grid vs the single-card BF16 reference, to the bit.
+    reference = jacobi_solve_bf16(
+        LaplaceProblem(nx=config.nx, ny=config.ny).initial_grid_bf16(),
+        config.iterations)
+    payload = {
+        "nx": config.nx,
+        "ny": config.ny,
+        "iterations": config.iterations,
+        "n_cards": res.n_cards,
+        "cards_y": config.cards_y,
+        "cards_x": config.cards_x,
+        "timing": config.timing,
+        "exchange": config.exchange,
+        "wall_time_s": res.wall_time_s,
+        "energy_j": res.energy_j,
+        "gpts": res.gpts,
+        "busy_total_s": sum(res.busy_s),
+        "stall_total_s": sum(res.stall_s),
+        "host_stage_s": res.host_stage_s,
+        "exchange_total_s": res.exchange.total_s,
+        "exchange_readback_s": res.exchange.readback_s,
+        "exchange_memcpy_s": res.exchange.memcpy_s,
+        "exchange_writeback_s": res.exchange.writeback_s,
+        "exchange_bytes": res.exchange.bytes_moved,
+        "restarts": res.restarts,
+        "bit_identical": bool(np.array_equal(res.grid_bits, reference)),
+    }
+    obs = {"sim_now": res.wall_time_s}
+    return payload, obs
+
+
+def _cluster_from_payload(config, seed, payload):
+    return payload
+
+
 register_kind(JobKind("stream", _run_stream, _stream_from_payload))
+register_kind(JobKind("cluster", _run_cluster, _cluster_from_payload))
 register_kind(JobKind("campaign", _run_campaign_job,
                       _campaign_from_payload))
 register_kind(JobKind("table8", _run_table8_row, _table8_from_payload))

@@ -123,6 +123,12 @@ class CostModel:
     # --- host link ---------------------------------------------------------
     pcie_bw: float = 16.0 * GB          #: PCIe Gen4 x8 effective
     pcie_latency: float = 5e-6
+    #: host-DRAM copy bandwidth for staging halo strips between per-card
+    #: PCIe buffers (a single host core's streaming memcpy; the FFT halo
+    #: work this follows stages card→host→card through exactly one such
+    #: copy per face strip)
+    host_memcpy_bw: float = 12.0 * GB
+    host_memcpy_call: float = 1e-6      #: fixed overhead per host staging copy
 
     # --- energy ------------------------------------------------------------
     card_power_idle_w: float = 47.0     #: e150 at rest

@@ -27,10 +27,13 @@ accept work at all.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.halo import HaloExchangeModel
+from repro.cluster.topology import card_splits, exchange_strips, plan_cards
 from repro.faults.plan import CoreFailure, FaultPlan, SolverBitFlip
 from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
 from repro.perfmodel.cpumodel import XeonModel
@@ -46,6 +49,8 @@ __all__ = [
     "ServeHang",
     "WorkerPool",
     "best_case_service_s",
+    "cluster_cards_needed",
+    "cluster_service_time",
     "cpu_service_time",
     "device_service_time",
     "generate_hangs",
@@ -101,6 +106,11 @@ class PoolConfig:
     noc_drop_penalty_s: float = 2e-4 #: retransmit cost of a NoC drop
     restart_overhead_s: float = 5e-4 #: checkpoint-restart fixed cost
     checkpoint_every: int = 8        #: iterations between serve checkpoints
+    #: interior points one card serves comfortably; a larger grid spans
+    #: ``ceil(points / capacity)`` pooled cards as one cluster launch
+    #: (:mod:`repro.cluster`).  ``None`` disables spanning entirely —
+    #: every request fits one member, exactly the pre-cluster behaviour.
+    card_point_capacity: Optional[int] = None
 
     def __post_init__(self):
         if self.n_devices < 0 or self.n_cpu_workers < 0:
@@ -116,6 +126,9 @@ class PoolConfig:
             raise ValueError("fault-handling costs must be non-negative")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be at least 1")
+        if self.card_point_capacity is not None \
+                and self.card_point_capacity < 1:
+            raise ValueError("card_point_capacity must be positive")
 
 
 # --------------------------------------------------------------------------
@@ -158,11 +171,61 @@ def best_case_service_s(req: SolveRequest, cfg: PoolConfig,
     """
     if req.backend == "cpu":
         return cpu_service_time(req, cfg.cpu_threads)
+    need = cluster_cards_needed(req, cfg.card_point_capacity)
+    if need > 1:
+        return cluster_service_time(req, need, cfg, costs)
     gy, gx = cfg.grid
     cy = max(1, min(gy, req.ny))
     cx = max(1, min(gx, req.nx))
     return launch_overhead_s([req], costs) \
         + device_service_time(req, cy, cx, costs)
+
+
+def cluster_cards_needed(req: SolveRequest,
+                         capacity: Optional[int]) -> int:
+    """Cards an admitted device request spans: ``ceil(points/capacity)``.
+
+    1 when spanning is disabled (``capacity is None``), the request
+    targets the CPU backend, or the grid fits one card.
+    """
+    if capacity is None or req.backend != "device":
+        return 1
+    return max(1, math.ceil(req.points / capacity))
+
+
+def cluster_service_time(req: SolveRequest, n_cards: int,
+                         cfg: PoolConfig,
+                         costs: CostModel = DEFAULT_COSTS) -> float:
+    """Service time of one cluster-span launch over ``n_cards`` members.
+
+    The analytic mirror of the model-timed :class:`repro.cluster.solver.
+    ClusterSolver` timeline: initial scatter, ``iterations`` barriers at
+    the slowest card's per-iteration step (each card runs its block on
+    its full worker grid), one host-staged halo round per iteration, and
+    the final gather.  A pure function of the request and the pool
+    shape, so admission decisions replay.
+    """
+    if n_cards < 1:
+        raise ValueError("n_cards must be positive")
+    cards_y, cards_x = card_splits(n_cards)
+    cards = plan_cards(req.nx, req.ny, cards_y, cards_x)
+    halo = HaloExchangeModel(costs)
+    gy, gx = cfg.grid
+    model = JacobiScalingModel(costs)
+    step_s = 0.0
+    for row in cards:
+        for sub in row:
+            cy = max(1, min(gy, sub.ny))
+            cx = max(1, min(gx, sub.nx))
+            t = model.run(sub.nx, sub.ny, req.effective_iterations,
+                          cy, cx).solve_time_s
+            step_s = max(step_s, t)
+    block_elems = [(sub.ny + 2) * (sub.nx + 2)
+                   for row in cards for sub in row]
+    stage_s = 2 * halo.block_transfer_s(block_elems)   # scatter + gather
+    strips = exchange_strips(cards)
+    halo_s = req.effective_iterations * halo.round_cost(strips).total_s
+    return stage_s + step_s + halo_s
 
 
 # --------------------------------------------------------------------------
@@ -207,6 +270,9 @@ class DeviceMember(_Member):
         self.grid = grid
         self.health = MemberHealth(health, self.name)
         self.failed_cores = 0
+        #: held for a pending cluster-span launch: not busy, but not
+        #: offered to other work until the span dispatches (or sheds).
+        self.reserved = False
         self._hang_at = {h.launch_index for h in hangs
                          if h.device_id == device_id}
         #: timed faults, consumed in t order at launch starts
@@ -232,7 +298,8 @@ class DeviceMember(_Member):
         return self.grid[0] * self.grid[1]
 
     def available(self, now: float) -> bool:
-        return not self.busy and self.health.accepts(now)
+        return not self.busy and not self.reserved \
+            and self.health.accepts(now)
 
     def capacity_factor(self) -> float:
         """Service-time multiplier after core failures (remapped set)."""

@@ -36,7 +36,9 @@ class AdmissionError(RuntimeError):
     """The scheduler refused a request.
 
     ``reason`` is machine-readable: ``"queue_full"``,
-    ``"deadline_unmeetable"`` or ``"invalid"``.
+    ``"deadline_unmeetable"``, ``"too_large"`` (the grid needs more
+    cards than the pool owns, or cannot be decomposed over them) or
+    ``"invalid"``.
     """
 
     def __init__(self, reason: str, detail: str = ""):

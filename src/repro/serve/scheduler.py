@@ -111,6 +111,15 @@ class BoundedPriorityQueue:
                 return q.pop(0)
         return None
 
+    def peek_where(self, want: Callable[[SolveRequest], bool]
+                   ) -> Optional[SolveRequest]:
+        """First matching request in priority-FIFO order, not removed."""
+        for q in self._queues:
+            for req in q:
+                if want(req):
+                    return req
+        return None
+
     def pop_where(self, want: Callable[[SolveRequest], bool],
                   limit: int) -> List[SolveRequest]:
         """Pop up to ``limit`` matching requests in priority-FIFO order.

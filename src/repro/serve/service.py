@@ -16,7 +16,14 @@ Life of a request::
         │   outcome; nothing is silently dropped)
         └─> dispatcher (a sim process) packs compatible small grids into
             one multi-core launch (scheduler.plan_batch / split_domain),
-            or hands CPU-backend requests to a CPU worker
+            hands CPU-backend requests to a CPU worker, or — when
+            ``PoolConfig.card_point_capacity`` is set and the grid
+            exceeds it — reserves pool members one by one as they free
+            until the oversized request can span them as a single
+            cluster launch (:mod:`repro.cluster`'s halo-exchange
+            timeline); small tenants keep packing onto the unreserved
+            spares meanwhile.  A grid needing more cards than the pool
+            owns is shed ``too_large`` at admission
                └─> launch occupies the pool member for the modelled
                    service time; chaos faults stretch it (NoC, ECC
                    scrubs) or checkpoint/restart it on a remapped core
@@ -49,8 +56,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.perfmodel.calibration import DEFAULT_COSTS, CostModel
 from repro.serve.health import HealthConfig
+from repro.cluster.topology import card_splits
 from repro.serve.pool import (CpuWorker, DeviceMember, PoolConfig, ServeHang,
                               WorkerPool, best_case_service_s,
+                              cluster_cards_needed, cluster_service_time,
                               cpu_service_time, device_service_time,
                               launch_overhead_s)
 from repro.serve.request import (AdmissionError, RequestOutcome,
@@ -114,6 +123,10 @@ class SolveService:
         self.outcomes: List[RequestOutcome] = []
         self._states: Dict[int, _RequestState] = {}
         self._batch_seq = 0
+        #: oversized head-of-line request waiting for enough members,
+        #: and the members already held for it.
+        self._pending_cluster: Optional[SolveRequest] = None
+        self._reserved: List[DeviceMember] = []
         self._kick = sim.event("serve.kick")
         sim.process(self._dispatch_loop(), name="serve.dispatcher")
 
@@ -137,6 +150,19 @@ class SolveService:
             raise AdmissionError("invalid", "pool has no devices")
         if req.backend == "cpu" and not self.pool.cpus:
             raise AdmissionError("invalid", "pool has no CPU workers")
+        need = cluster_cards_needed(req, self.pool_cfg.card_point_capacity)
+        if need > 1:
+            if need > len(self.pool.devices):
+                self._record_shed(req, now, "too_large")
+                raise AdmissionError(
+                    "too_large",
+                    f"{req.points} points need {need} cards; pool has "
+                    f"{len(self.pool.devices)}")
+            try:
+                cluster_service_time(req, need, self.pool_cfg, self.costs)
+            except ValueError as exc:
+                self._record_shed(req, now, "too_large")
+                raise AdmissionError("too_large", str(exc)) from exc
         if req.deadline_s is not None:
             best = self.best_case_service_s(req)
             if best > req.deadline_s:
@@ -189,7 +215,7 @@ class SolveService:
     def _try_dispatch(self) -> bool:
         """Start at most one launch; True if anything was dispatched."""
         now = self.sim.now
-        if not len(self.queue):
+        if not len(self.queue) and self._pending_cluster is None:
             return False
         self._shed_expired(now)
         cpu = self.pool.free_cpu(now)
@@ -199,6 +225,8 @@ class SolveService:
             if picked:
                 self._launch_cpu(cpu, picked[0])
                 return True
+        if self._dispatch_cluster(now):
+            return True
         dev = self.pool.free_device(now)
         if dev is not None:
             plan = self._form_device_batch(dev)
@@ -206,6 +234,58 @@ class SolveService:
                 self._launch_device(dev, plan)
                 return True
         return False
+
+    def _release_reservations(self) -> None:
+        for dev in self._reserved:
+            dev.reserved = False
+        self._reserved.clear()
+
+    def _dispatch_cluster(self, now: float) -> bool:
+        """Reserve members for an oversized head-of-line request; launch
+        the span once enough are held.  True only when a span launched —
+        merely reserving a member falls through so small tenants keep
+        packing onto the unreserved spares."""
+        cap = self.pool_cfg.card_point_capacity
+        if cap is None:
+            return False
+        if self._pending_cluster is None:
+            head = self.queue.peek_where(lambda r: r.backend == "device")
+            if head is None or cluster_cards_needed(head, cap) <= 1:
+                return False
+            self.queue.pop_where(lambda r: r.rid == head.rid, limit=1)
+            self._pending_cluster = head
+            need = cluster_cards_needed(head, cap)
+            self.metrics.trace.record(now, "serve.cluster",
+                                      f"req{head.rid}", "reserving",
+                                      f"span={need}card(s)")
+            state = self._states.get(head.rid)
+            if state is not None and state.deadline_abs is not None:
+                self._wake_at(state.deadline_abs)
+        req = self._pending_cluster
+        state = self._states.get(req.rid)
+        if state is None:
+            self._release_reservations()
+            self._pending_cluster = None
+            return False
+        if state.deadline_abs is not None and state.deadline_abs < now:
+            self._release_reservations()
+            self._pending_cluster = None
+            self._terminal_shed(state, "deadline_expired",
+                               f"req{req.rid}", "expired-awaiting-cluster")
+            return False
+        need = cluster_cards_needed(req, cap)
+        while len(self._reserved) < need:
+            dev = self.pool.free_device(now)
+            if dev is None:
+                return False
+            dev.reserved = True
+            self._reserved.append(dev)
+        devs, self._reserved = self._reserved, []
+        self._pending_cluster = None
+        for dev in devs:
+            dev.reserved = False
+        self._launch_cluster(devs, req)
+        return True
 
     def _shed_expired(self, now: float) -> None:
         """Drop queued requests whose absolute deadline already passed."""
@@ -219,9 +299,21 @@ class SolveService:
             self._terminal_shed(state, "deadline_expired",
                                f"req{req.rid}", "expired-in-queue")
 
+    def _fits_one_member(self, req: SolveRequest) -> bool:
+        """Whether a device request may run on a single pool member.
+
+        Oversized requests (cluster spans) must never be popped into a
+        single-member launch or packed into its batch — they wait for
+        the cluster path even when another span already holds the
+        pending slot.
+        """
+        return cluster_cards_needed(
+            req, self.pool_cfg.card_point_capacity) <= 1
+
     def _form_device_batch(self, dev: DeviceMember) -> Optional[BatchPlan]:
         head = self.queue.pop_where(
-            lambda r: r.backend == "device", limit=1)
+            lambda r: r.backend == "device" and self._fits_one_member(r),
+            limit=1)
         if not head:
             return None
         first = head[0]
@@ -232,7 +324,8 @@ class SolveService:
             if room > 0:
                 batch += self.queue.pop_where(
                     lambda r: (r.backend == "device"
-                               and r.points <= limit), limit=room)
+                               and r.points <= limit
+                               and self._fits_one_member(r)), limit=room)
         return plan_batch(batch, dev.grid)
 
     # -- launches ----------------------------------------------------------
@@ -410,6 +503,119 @@ class SolveService:
         dev.busy = False
         if not faulted:
             self._note_success(dev)
+        self._wake()
+
+    # -- cluster spans ------------------------------------------------------
+    def _launch_cluster(self, devs: List[DeviceMember],
+                        req: SolveRequest) -> None:
+        batch_id = self._batch_seq
+        self._batch_seq += 1
+        for dev in devs:
+            dev.busy = True
+        self.metrics.bump("launches.cluster")
+        self.metrics.sample_depth(self.sim.now, len(self.queue))
+        names = "+".join(d.name for d in devs)
+        self.metrics.trace.record(self.sim.now, "serve.cluster",
+                                  f"req{req.rid}", "spanned", names)
+        self.sim.process(self._run_cluster_span(devs, req, batch_id),
+                         name=f"serve.cluster.req{req.rid}")
+
+    def _run_cluster_span(self, devs: List[DeviceMember], req: SolveRequest,
+                          batch_id: int):
+        """One oversized request occupying ``devs`` for a whole span.
+
+        The span's service time is the cluster halo-exchange timeline
+        (scatter, barriered iterations, staged halo rounds, gather);
+        every member is busy for all of it — faults on *any* member hit
+        the whole span, exactly as a real multi-card launch would stall
+        on its slowest or sickest card.
+        """
+        t0 = self.sim.now
+        launch_index = {d.name: d.launches for d in devs}
+        for dev in devs:
+            dev.launches += 1
+        names = "+".join(d.name for d in devs)
+        time_s = cluster_service_time(req, len(devs), self.pool_cfg,
+                                      self.costs) \
+            * max(d.capacity_factor() for d in devs)
+        time_s += sum(self._consume_timed(d, t0) for d in devs)
+        faulted = False
+
+        # A core failure on any member checkpoint-restarts the span on
+        # that member's remapped (smaller) core set.
+        for dev in devs:
+            for death in dev.take_core_failures(launch_index[dev.name]):
+                before = time_s
+                old_factor = max(d.capacity_factor() for d in devs)
+                dev.fail_core()
+                ratio = max(d.capacity_factor()
+                            for d in devs) / old_factor
+                ckpt = self.pool_cfg.checkpoint_every
+                iters = req.effective_iterations
+                done_iters = (int(_STRIKE_FRACTION * iters) // ckpt) * ckpt
+                redo = 1.0 - done_iters / iters
+                time_s = _STRIKE_FRACTION * time_s \
+                    + self.pool_cfg.restart_overhead_s \
+                    + redo * time_s * ratio
+                faulted = True
+                self.metrics.bump("chaos.core_failure")
+                self.metrics.bump("restarts")
+                self.metrics.attribute("core.failure", time_s - before)
+                self.metrics.trace.record(
+                    t0, "core.failure",
+                    f"{dev.name}.core({death.iy},{death.ix})", "injected",
+                    f"cluster.req{req.rid}")
+                state = self._states.get(req.rid)
+                if state is not None:
+                    state.restarts += 1
+
+        expected = time_s
+        hung = [d for d in devs
+                if d.take_hang(t0, launch_index[d.name])]
+        if hung:
+            timeout_s = self.pool_cfg.watchdog_factor * expected
+            yield self.sim.timeout(timeout_s)
+            for dev in devs:
+                dev.busy_s += timeout_s
+                dev.busy = False
+            self.metrics.bump("hangs")
+            self.metrics.attribute("hang", timeout_s)
+            self.metrics.trace.record(
+                self.sim.now, "serve.hang", f"cluster.req{req.rid}@{names}",
+                "detected", f"watchdog@{timeout_s:.6g}s."
+                f"{len(hung)}member(s)")
+            for dev in hung:
+                self._note_fault(dev, "hang")
+            self._retry_or_degrade(req, hung[0], why="hang")
+            self._wake()
+            return
+
+        sdc_members = [d for d in devs
+                       if d.take_sdc(launch_index[d.name])]
+        yield self.sim.timeout(expected)
+        for dev in devs:
+            dev.busy_s += expected
+            dev.busy = False
+        if sdc_members:
+            hits = len(sdc_members)
+            self.metrics.bump("sdc.injected", by=hits)
+            self.metrics.bump("sdc.detected", by=hits)
+            where = f"req{req.rid}@{names}"
+            self.metrics.trace.record(self.sim.now, "solver.sdc", where,
+                                      "detected", "range-check@gather")
+            state = self._states.get(req.rid)
+            if state is not None:
+                state.sdc_detected += hits
+            for dev in sdc_members:
+                self._note_fault(dev, "sdc")
+            self._retry_or_degrade(req, sdc_members[0], why="sdc")
+        else:
+            self._complete(req, worker=names, backend_used="device",
+                           cores=card_splits(len(devs)), batch_id=batch_id,
+                           batch_size=1, start_s=t0)
+            if not faulted:
+                for dev in devs:
+                    self._note_success(dev)
         self._wake()
 
     # -- health lifecycle --------------------------------------------------

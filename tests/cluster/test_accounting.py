@@ -1,0 +1,118 @@
+"""Accounting regression: stalled cards draw idle power, exactly.
+
+Pins the identity the tentpole fix establishes:
+
+    ``energy_j == Σ busy_energy_i + Σ stall_i · idle_w``   (exact)
+    ``busy_i + stall_i == wall_time_s``  for every card    (exact)
+
+both on :class:`~repro.cluster.ClusterResult` and on the arch-level
+:class:`~repro.arch.cluster.Cluster` mirror (``record_stall`` /
+``record_host_stage``), so halo-exchange barriers can never silently
+vanish from the energy ledger again.
+"""
+
+import pytest
+
+from repro.arch.cluster import Cluster
+from repro.cluster import ClusterConfig, ClusterSolver
+from repro.perfmodel.calibration import DEFAULT_COSTS
+
+
+def solve(**kw):
+    defaults = dict(nx=64, ny=64, iterations=6, cards_y=2, cards_x=2)
+    defaults.update(kw)
+    return ClusterSolver(ClusterConfig(**defaults)).solve()
+
+
+class TestResultIdentity:
+    def test_energy_identity_exact_model(self):
+        res = solve()
+        assert res.energy_j == res.energy_identity_j()
+
+    def test_energy_identity_exact_des(self):
+        res = solve(nx=64, ny=32, iterations=3, cards_y=2, cards_x=1,
+                    cores_y=2, cores_x=2, timing="des")
+        assert res.energy_j == pytest.approx(res.energy_identity_j(),
+                                             abs=1e-15)
+
+    def test_busy_plus_stall_is_wall_per_card(self):
+        res = solve()
+        for busy, stall in zip(res.busy_s, res.stall_s):
+            assert busy + stall == res.wall_time_s
+
+    def test_stalls_include_host_staging(self):
+        """Every card idles through scatter/exchange/gather, so per-card
+        stall is at least the total host staging time."""
+        res = solve()
+        assert res.host_stage_s > 0
+        for stall in res.stall_s:
+            assert stall >= res.host_stage_s
+
+    def test_uneven_split_stalls_fast_cards(self):
+        """A 3-way split of 64 rows gives one card fewer rows: fast
+        cards must accrue more stall, but identical wall and energy
+        identity still hold."""
+        res = solve(ny=64, cards_y=3, cards_x=1)
+        assert max(res.stall_s) > min(res.stall_s)
+        assert res.energy_j == res.energy_identity_j()
+
+    def test_idle_power_priced_at_calibrated_idle_watts(self):
+        res = solve()
+        assert res.power_idle_w == DEFAULT_COSTS.card_power_idle_w
+        stall_j = sum(s * res.power_idle_w for s in res.stall_s)
+        busy_j = sum(res.busy_energy_j)
+        assert res.energy_j == busy_j + stall_j
+
+
+class TestArchClusterMirror:
+    def test_wall_includes_recorded_stalls_and_staging(self):
+        cluster = Cluster(2)
+        cluster[0].sim.run(until=2e-3)
+        cluster[1].sim.run(until=1e-3)
+        cluster.record_stall(1, 1e-3)       # card 1 waited at the barrier
+        cluster.record_host_stage(5e-4)
+        assert cluster.wall_time_s == pytest.approx(2.5e-3)
+        assert cluster.stall_s == [0.0, 1e-3]
+        assert cluster.host_stage_s == 5e-4
+
+    def test_energy_charges_idle_for_stalled_cards(self):
+        cluster = Cluster(2)
+        cluster[0].sim.run(until=2e-3)
+        cluster[1].sim.run(until=1e-3)
+        before = cluster.energy_j
+        cluster.record_host_stage(1e-3)     # both cards idle 1 ms longer
+        after = cluster.energy_j
+        extra = after - before
+        assert extra == pytest.approx(
+            2 * 1e-3 * DEFAULT_COSTS.card_power_idle_w)
+
+    def test_energy_identity_exact(self):
+        cluster = Cluster(3)
+        for i, card in enumerate(cluster):
+            card.sim.run(until=(i + 1) * 1e-4)
+        cluster.record_stall(0, 2e-4)
+        cluster.record_host_stage(1e-4)
+        wall = cluster.wall_time_s
+        expect = sum(card.energy.energy_j
+                     + (wall - card.sim.now)
+                     * DEFAULT_COSTS.card_power_idle_w
+                     for card in cluster)
+        assert cluster.energy_j == expect
+
+    def test_negative_charges_rejected(self):
+        cluster = Cluster(1)
+        with pytest.raises(ValueError):
+            cluster.record_stall(0, -1e-9)
+        with pytest.raises(ValueError):
+            cluster.record_host_stage(-1e-9)
+
+    def test_solver_mirror_matches_result(self):
+        """The DES solver's arch-Cluster ledger agrees with its result."""
+        cfg = ClusterConfig(nx=64, ny=32, iterations=3, cards_y=2,
+                            cards_x=1, cores_y=2, cores_x=2, timing="des")
+        solver = ClusterSolver(cfg)
+        res = solver.solve()
+        mirror = solver.last_des_cluster
+        assert mirror is not None
+        assert mirror.wall_time_s == pytest.approx(res.wall_time_s)
+        assert mirror.energy_j == pytest.approx(res.energy_j)

@@ -1,0 +1,92 @@
+"""The headline differential harness: multi-card == single-card, to the bit.
+
+Every decomposition shape — 1 card, 1D-Y bands, 1D-X columns, full 2D,
+and the DES-timed configuration — must stitch back to *exactly* the
+bits the single-card BF16 reference produces.  Timing and energy are
+allowed to differ between shapes; the answer is not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSolver
+from repro.core.grid import LaplaceProblem
+from repro.core.multicore import run_multicard_functional
+from repro.cpu.jacobi import jacobi_solve_bf16
+
+
+def reference(nx: int, ny: int, iterations: int) -> np.ndarray:
+    return jacobi_solve_bf16(
+        LaplaceProblem(nx=nx, ny=ny).initial_grid_bf16(), iterations)
+
+
+SHAPES = [
+    pytest.param(1, 1, id="1card"),
+    pytest.param(2, 1, id="1d-y"),
+    pytest.param(1, 2, id="1d-x"),
+    pytest.param(4, 1, id="1d-y-deep"),
+    pytest.param(2, 2, id="2d"),
+    pytest.param(3, 2, id="2d-uneven"),
+]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("cards_y,cards_x", SHAPES)
+    def test_model_timing(self, cards_y, cards_x):
+        cfg = ClusterConfig(nx=64, ny=48, iterations=9,
+                            cards_y=cards_y, cards_x=cards_x)
+        res = ClusterSolver(cfg).solve()
+        assert np.array_equal(res.grid_bits, reference(64, 48, 9))
+
+    def test_des_timing(self):
+        cfg = ClusterConfig(nx=64, ny=32, iterations=3,
+                            cards_y=2, cards_x=1, cores_y=2, cores_x=2,
+                            timing="des")
+        res = ClusterSolver(cfg).solve()
+        assert np.array_equal(res.grid_bits, reference(64, 32, 3))
+
+    def test_shapes_agree_with_each_other(self):
+        grids = []
+        for cy, cx in ((1, 1), (2, 2), (4, 1)):
+            cfg = ClusterConfig(nx=64, ny=64, iterations=6,
+                                cards_y=cy, cards_x=cx)
+            grids.append(ClusterSolver(cfg).solve().grid_bits)
+        assert np.array_equal(grids[0], grids[1])
+        assert np.array_equal(grids[0], grids[2])
+
+    def test_exchange_none_reproduces_frozen_halo_mode(self):
+        """``exchange="none"`` is the paper's per-card frozen-halo run —
+        it matches run_multicard_functional, NOT the global reference."""
+        p = LaplaceProblem(nx=64, ny=64)
+        cfg = ClusterConfig(nx=64, ny=64, iterations=5,
+                            cards_y=2, cards_x=1, exchange="none")
+        res = ClusterSolver(cfg).solve()
+        frozen = run_multicard_functional(p.initial_grid_bf16(), 5,
+                                          n_cards=2)
+        assert np.array_equal(res.grid_bits, frozen)
+        assert not np.array_equal(res.grid_bits, reference(64, 64, 5))
+
+
+class TestDeterminism:
+    def test_repeat_solve_byte_identical(self):
+        cfg = ClusterConfig(nx=48, ny=48, iterations=7,
+                            cards_y=2, cards_x=2)
+        a = ClusterSolver(cfg).solve()
+        b = ClusterSolver(cfg).solve()
+        assert np.array_equal(a.grid_bits, b.grid_bits)
+        assert a.wall_time_s == b.wall_time_s
+        assert a.energy_j == b.energy_j
+
+    def test_payload_identical_across_jobs(self):
+        """The sweep payload is byte-identical under -j 2 vs -j 1."""
+        import json
+
+        from repro.cluster import cluster_sweep_configs, run_cluster_sweep
+
+        configs = cluster_sweep_configs("weak", (1, 2), base_nx=32,
+                                        base_ny=32, iterations=4)
+        serial = run_cluster_sweep(configs, jobs=1, cache=False)
+        parallel = run_cluster_sweep(configs, jobs=2, cache=False)
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(parallel, sort_keys=True)
+        assert all(p["bit_identical"] for p in serial)

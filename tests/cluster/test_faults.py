@@ -1,0 +1,103 @@
+"""Fault-path contract: a dead card never produces a silent wrong answer.
+
+With checkpoints enabled, a :class:`~repro.faults.plan.CardFailure`
+rolls the solve back, remaps the dead card's block onto a survivor, and
+still finishes *bit-identical* to the single-card reference.  Without
+checkpoints the solve sheds loudly with a typed
+:class:`~repro.cluster.CardFailedError`.  Losing every card is a typed
+:class:`~repro.cluster.ClusterError`.  There is no third outcome.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CardFailedError,
+    ClusterConfig,
+    ClusterError,
+    ClusterSolver,
+)
+from repro.core.grid import LaplaceProblem
+from repro.cpu.jacobi import jacobi_solve_bf16
+from repro.faults import CardFailure, FaultPlan
+
+
+def reference(nx, ny, iterations):
+    return jacobi_solve_bf16(
+        LaplaceProblem(nx=nx, ny=ny).initial_grid_bf16(), iterations)
+
+
+class TestCheckpointRestart:
+    def test_single_failure_still_bit_identical(self):
+        cfg = ClusterConfig(nx=48, ny=48, iterations=8, cards_y=2,
+                            cards_x=1, checkpoint_every=2)
+        plan = FaultPlan(seed=0, card_failures=(CardFailure(5, 0, 0),))
+        res = ClusterSolver(cfg).solve(plan=plan)
+        assert res.restarts == 1
+        assert res.failed_cards == ((0, 0),)
+        assert res.remap == (((0, 0), (1, 0)),)
+        assert np.array_equal(res.grid_bits, reference(48, 48, 8))
+
+    def test_failure_costs_time_but_not_correctness(self):
+        cfg = ClusterConfig(nx=48, ny=48, iterations=8, cards_y=2,
+                            cards_x=1, checkpoint_every=2)
+        clean = ClusterSolver(cfg).solve()
+        plan = FaultPlan(seed=0, card_failures=(CardFailure(5, 1, 0),))
+        faulty = ClusterSolver(cfg).solve(plan=plan)
+        assert np.array_equal(clean.grid_bits, faulty.grid_bits)
+        assert faulty.wall_time_s > clean.wall_time_s
+        assert faulty.energy_j > clean.energy_j
+
+    def test_two_failures_on_2d_grid(self):
+        cfg = ClusterConfig(nx=48, ny=48, iterations=10, cards_y=2,
+                            cards_x=2, checkpoint_every=5)
+        plan = FaultPlan(seed=0, card_failures=(CardFailure(3, 0, 1),
+                                        CardFailure(7, 1, 0)))
+        res = ClusterSolver(cfg).solve(plan=plan)
+        assert res.restarts == 2
+        assert set(res.failed_cards) == {(0, 1), (1, 0)}
+        assert np.array_equal(res.grid_bits, reference(48, 48, 10))
+
+    def test_generated_plan_survives(self):
+        plan = FaultPlan.generate(seed=11, n_card_failures=1,
+                                  iterations=6, cards=(2, 2))
+        assert len(plan.card_failures) == 1
+        cfg = ClusterConfig(nx=32, ny=32, iterations=6, cards_y=2,
+                            cards_x=2, checkpoint_every=3)
+        res = ClusterSolver(cfg).solve(plan=plan)
+        assert np.array_equal(res.grid_bits, reference(32, 32, 6))
+
+
+class TestLoudShedding:
+    def test_no_checkpoints_raises_typed_error(self):
+        cfg = ClusterConfig(nx=32, ny=32, iterations=6,
+                            cards_y=2, cards_x=1)     # checkpoint_every=0
+        plan = FaultPlan(seed=0, card_failures=(CardFailure(2, 1, 0),))
+        with pytest.raises(CardFailedError) as err:
+            ClusterSolver(cfg).solve(plan=plan)
+        assert err.value.card == (1, 0)
+        assert err.value.iteration == 2
+        assert isinstance(err.value, ClusterError)
+
+    def test_all_cards_dead_is_cluster_error(self):
+        cfg = ClusterConfig(nx=32, ny=32, iterations=6, cards_y=2,
+                            cards_x=1, checkpoint_every=2)
+        plan = FaultPlan(seed=0, card_failures=(CardFailure(1, 0, 0),
+                                        CardFailure(1, 1, 0)))
+        with pytest.raises(ClusterError):
+            ClusterSolver(cfg).solve(plan=plan)
+
+    def test_generator_always_leaves_a_survivor(self):
+        plan = FaultPlan.generate(seed=0, n_card_failures=99,
+                                  iterations=8, cards=(2, 2))
+        assert len(plan.card_failures) == 3   # 4 cards - 1 survivor
+
+
+class TestPlanRoundTrip:
+    def test_card_failures_survive_to_dict_from_dict(self):
+        plan = FaultPlan.generate(seed=7, n_card_failures=2,
+                                  iterations=9, cards=(3, 2))
+        back = FaultPlan.from_dict(plan.to_dict())
+        assert back.card_failures == plan.card_failures
+        assert back.n_faults == plan.n_faults
+        assert "card failure" in plan.describe()

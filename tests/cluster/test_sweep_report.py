@@ -1,0 +1,101 @@
+"""Scaling sweeps: schema-stable, byte-identical, differential inside.
+
+The weak/strong sweep artifacts (JSON doc + rendered table) must be
+byte-identical across repeat runs and across ``-j N`` — they are the
+objects the ``cluster-smoke`` CI job ``cmp``-gates — and every sweep
+point carries its own bit-identity differential check.
+"""
+
+import json
+
+from repro.cluster import (
+    SWEEP_SCHEMA,
+    cluster_sweep_configs,
+    doc_to_json,
+    render_cluster_report,
+    run_cluster_sweep,
+    sweep_to_doc,
+)
+
+CARDS = (1, 2, 4)
+
+
+def run(mode, jobs=1, **kw):
+    kw.setdefault("base_nx", 32)
+    kw.setdefault("base_ny", 32)
+    kw.setdefault("iterations", 4)
+    configs = cluster_sweep_configs(mode, CARDS, **kw)
+    return run_cluster_sweep(configs, jobs=jobs, cache=False)
+
+
+class TestSchema:
+    def test_doc_shape(self):
+        doc = sweep_to_doc("weak", run("weak"))
+        assert doc["schema"] == SWEEP_SCHEMA
+        assert doc["mode"] == "weak"
+        assert len(doc["points"]) == len(CARDS)
+        for point in doc["points"]:
+            assert point["bit_identical"] is True
+            assert point["exchange_bytes"] >= 0
+            assert point["wall_time_s"] > 0
+
+    def test_no_wallclock_fields(self):
+        """Nothing in the doc may come from the host clock."""
+        text = doc_to_json(sweep_to_doc("strong", run("strong")))
+        for banned in ("timestamp", "date", "hostname", "duration"):
+            assert banned not in text
+
+    def test_weak_grows_grid_strong_fixes_it(self):
+        weak = run("weak")
+        strong = run("strong")
+        assert weak[0]["nx"] * weak[0]["ny"] \
+            < weak[-1]["nx"] * weak[-1]["ny"]
+        assert strong[0]["nx"] == strong[-1]["nx"]
+        assert strong[0]["ny"] == strong[-1]["ny"]
+
+
+class TestByteIdentity:
+    def test_repeat_runs_identical(self):
+        a = doc_to_json(sweep_to_doc("weak", run("weak")))
+        b = doc_to_json(sweep_to_doc("weak", run("weak")))
+        assert a == b
+
+    def test_jobs_invariant(self):
+        serial = run("strong", jobs=1)
+        threaded = run("strong", jobs=2)
+        assert doc_to_json(sweep_to_doc("strong", serial)) == \
+            doc_to_json(sweep_to_doc("strong", threaded))
+
+    def test_report_render_stable(self):
+        points = run("weak")
+        a = render_cluster_report("weak", points)
+        b = render_cluster_report("weak", points)
+        assert a == b
+        assert f"{len(points)}/{len(points)} point(s) bit-identical" in a
+
+    def test_json_is_sorted_and_newline_terminated(self):
+        text = doc_to_json(sweep_to_doc("weak", run("weak")))
+        assert text.endswith("\n")
+        doc = json.loads(text)
+        assert text == json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+class TestScalingShape:
+    def test_sixteen_card_weak_sweep(self):
+        """The acceptance floor: weak scaling to 16 cards, every point
+        still bit-identical."""
+        configs = cluster_sweep_configs("weak", (1, 2, 4, 8, 16),
+                                        base_nx=32, base_ny=32,
+                                        iterations=2)
+        points = run_cluster_sweep(configs, jobs=1, cache=False)
+        assert len(points) == 5
+        assert all(p["bit_identical"] for p in points)
+        assert points[-1]["n_cards"] == 16
+
+    def test_2d_split(self):
+        configs = cluster_sweep_configs("weak", (1, 4), split="2d",
+                                        base_nx=32, base_ny=32,
+                                        iterations=2)
+        points = run_cluster_sweep(configs, jobs=1, cache=False)
+        assert points[-1]["cards_y"] == 2 and points[-1]["cards_x"] == 2
+        assert all(p["bit_identical"] for p in points)
