@@ -368,6 +368,39 @@ def _bench_cluster_smoke(smoke: bool) -> Tuple[float, float,
     return wall, wall, inv
 
 
+def _bench_ops_smoke(smoke: bool) -> Tuple[float, float,
+                                           Dict[str, object]]:
+    """Op-library macro scenario: every registered op, checked.
+
+    One differential-checked execution per registered op (single-core in
+    smoke, plus a 2x2 launch in full mode), sizes chosen to satisfy all
+    three ops' constraints.  The invariants pin each op's readback
+    SHA-256, tile-op count and simulated kernel time — any drift in a
+    kernel schedule, reference implementation or the differential-check
+    plumbing is a semantic change, not noise.
+    """
+    from repro import ops as opslib
+
+    size = 32 if smoke else 64
+    grids = [(1, 1)] if smoke else [(1, 1), (2, 2)]
+    inv: Dict[str, object] = {}
+    t0 = time.perf_counter()
+    for spec in opslib.list_ops():
+        problem = spec.make_problem(size, 0)
+        for cores in grids:
+            try:
+                res = spec.run(problem, cores=cores)
+            except ValueError:
+                continue          # e.g. too few tiles for the core grid
+            tag = f"{spec.name}_{cores[0]}x{cores[1]}"
+            inv[f"{tag}_sha"] = res.output_sha
+            inv[f"{tag}_fpu_ops"] = res.fpu_ops
+            inv[f"{tag}_sim_s"] = res.kernel_time_s
+            inv[f"{tag}_checked"] = res.checked
+    wall = time.perf_counter() - t0
+    return wall, wall, inv
+
+
 def _bench_lint_smoke(smoke: bool) -> Tuple[float, float,
                                             Dict[str, object]]:
     """Whole-program lint wall time over the shipped Jacobi programs.
@@ -430,6 +463,7 @@ BENCHMARKS: Dict[str, Tuple[str, str, str, bool, Callable]] = {
     "serve_smoke": ("macro", "wall_s", "s", False, _bench_serve_smoke),
     "chaos_smoke": ("macro", "wall_s", "s", False, _bench_chaos_smoke),
     "cluster_smoke": ("macro", "wall_s", "s", False, _bench_cluster_smoke),
+    "ops_smoke": ("macro", "wall_s", "s", False, _bench_ops_smoke),
     "lint_smoke": ("macro", "wall_s", "s", False, _bench_lint_smoke),
 }
 
@@ -553,13 +587,19 @@ def default_report_path(date: Optional[str] = None) -> str:
 # --------------------------------------------------------------------------
 
 def compare(current: dict, baseline: dict,
-            tolerance: float = 0.20) -> List[str]:
+            tolerance: float = 0.20,
+            notes: Optional[List[str]] = None) -> List[str]:
     """Regressions of ``current`` against ``baseline``.
 
     Returns human-readable failure strings (empty = pass).  Perf metrics
     may drift within ``tolerance`` (relative); invariants must match
     exactly — they are machine-independent, so any drift is a semantic
     change in the simulator, not noise.
+
+    Benchmarks present in ``current`` but absent from the baseline are
+    *informational*, never failures — a fresh benchmark has no history
+    to regress against.  Pass a list as ``notes`` to collect one line
+    per new benchmark (e.g. a reminder to regenerate the baseline).
     """
     failures: List[str] = []
     if current.get("schema") != baseline.get("schema"):
@@ -598,6 +638,13 @@ def compare(current: dict, baseline: dict,
                     f"{name}: {base['metric']} regressed "
                     f"{(c / b - 1) * 100:.1f}% ({b:,.6g} -> {c:,.6g}, "
                     f"tolerance {tolerance * 100:.0f}%)")
+    if notes is not None:
+        known = {r["name"] for r in baseline.get("results", [])}
+        for r in current.get("results", []):
+            if r["name"] not in known:
+                notes.append(
+                    f"{r['name']}: new benchmark (not in baseline; "
+                    f"regenerate the baseline to start tracking it)")
     return failures
 
 

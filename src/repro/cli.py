@@ -13,6 +13,7 @@ Commands
 ``sweep``    run a streaming sweep through the parallel engine
 ``serve``    multi-tenant solve service: load test, replay, chaos campaign
 ``cluster``  multi-card halo-exchange solver: one config or scaling sweep
+``ops``      the repro.ops workload library: run one op, or sweep them all
 
 Sweep-producing commands (``table``, ``sweep``, ``faults``, ``bench``)
 accept a global ``-j/--jobs N`` flag that fans their independent,
@@ -244,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="closed loop: mean think time (simulated s)")
     lg.add_argument("--sizes", default="32,48,64,96,128",
                     help="comma-separated grid extents to draw from")
+    lg.add_argument("--workloads", default="jacobi",
+                    help="comma-separated workload kinds to mix "
+                         "(jacobi,matmul,fft,stencil9; default jacobi "
+                         "only — sizes snap to each kind's constraint)")
     lg.add_argument("--iterations", type=int, default=32)
     lg.add_argument("--cpu-fraction", type=float, default=0.25)
     lg.add_argument("--deadline-fraction", type=float, default=0.25)
@@ -349,6 +354,46 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["staged", "none"])
     cw.add_argument("--out", default=None,
                     help="write the JSON report (schema repro-cluster/1)")
+
+    op = sub.add_parser(
+        "ops",
+        help="the repro.ops workload library: run one op, or sweep them",
+        description="Differential-checked device executions of the "
+                    "registered ops (blocked SRAM matmul, radix-2 FFT "
+                    "pencils, 9-point stencil) next to their calibrated "
+                    "roofline estimates.  stdout is byte-identical "
+                    "across repeat runs.  See docs/ops.md.")
+    opsub = op.add_subparsers(dest="ops_command", required=True)
+    orn = opsub.add_parser("run", help="run one op once and check it")
+    orn.add_argument("--op", default="matmul",
+                     choices=["fft", "matmul", "stencil9"])
+    orn.add_argument("--size", type=int, default=64,
+                     help="problem extent (matmul m=k=n, fft pencil "
+                          "length, stencil9 interior width)")
+    orn.add_argument("--cores", default="1x1", metavar="CYxCX",
+                     help="core grid of the launch (default 1x1)")
+    orn.add_argument("--seed", type=int, default=0)
+    orn.add_argument("--batch", type=int, default=None,
+                     help="fft: pencils per batch (default 16)")
+    orn.add_argument("--ny", type=int, default=None,
+                     help="stencil9: interior height (default --size)")
+    orn.add_argument("--iters", type=int, default=None,
+                     help="stencil9: relaxation sweeps (default 2)")
+    orn.add_argument("--no-check", action="store_true",
+                     help="skip the host-reference differential check")
+    osw = opsub.add_parser("sweep",
+                           help="run every registered op over core grids")
+    osw.add_argument("--only", default=None,
+                     help="comma-separated op names (default: all)")
+    osw.add_argument("--sizes", default="64",
+                     help="comma-separated extents (fft needs powers of "
+                          "two, stencil9 multiples of 32; invalid "
+                          "combinations are skipped with a note)")
+    osw.add_argument("--cores", default="1x1,2x2",
+                     help="comma-separated core grids (default 1x1,2x2)")
+    osw.add_argument("--seed", type=int, default=0)
+    osw.add_argument("--out", default=None,
+                     help="write the JSON report (schema repro-ops/1)")
     return p
 
 
@@ -731,6 +776,11 @@ def _cmd_lint(args) -> int:
             2, read_back=False)
         dev = GrayskullDevice(dram_bank_capacity=64 << 20)
         SramJacobiRunner(dev, problem).run(2, read_back=False)
+        from repro import ops as opslib
+        for op_spec in opslib.list_ops():
+            op_problem = op_spec.make_problem(64, 0)
+            op_spec.run(op_problem, cores=(1, 1))
+            op_spec.run(op_problem, cores=(2, 2))
         run_streaming(StreamConfig(rows=64, row_elems=1024))
         run_streaming(StreamConfig(rows=64, row_elems=1024, sync_read=True,
                                    sync_write=True, contiguous=False,
@@ -787,7 +837,11 @@ def _cmd_bench(args) -> int:
         return 1
     with open(baseline_path) as fh:
         baseline = json.load(fh)
-    failures = bench.compare(doc, baseline, tolerance=args.tolerance)
+    notes: list = []
+    failures = bench.compare(doc, baseline, tolerance=args.tolerance,
+                             notes=notes)
+    for note in notes:
+        print(f"note: {note}")
     if failures:
         print(f"FAILED: {len(failures)} regression(s) vs {baseline_path}:")
         for f in failures:
@@ -824,10 +878,12 @@ def _cmd_serve(args) -> int:
             return 2
     else:
         sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+        workloads = tuple(w.strip() for w in args.workloads.split(",")
+                          if w.strip())
         cfg = LoadGenConfig(
             mode=args.mode, seed=args.seed, n_requests=args.requests,
             arrival_rate_rps=args.rate, n_clients=args.clients,
-            think_s=args.think_s, sizes=sizes,
+            think_s=args.think_s, sizes=sizes, workloads=workloads,
             iterations=args.iterations, cpu_fraction=args.cpu_fraction,
             deadline_fraction=args.deadline_fraction)
         chaos = None
@@ -897,6 +953,116 @@ def _cmd_serve_chaos(args, jobs, cache, progress) -> int:
             fh.write(text)
         print(f"campaign written to {args.out}", file=sys.stderr)
     return 1 if doc["violations_total"] else 0
+
+
+def _parse_core_grid(text: str):
+    cy, _, cx = text.partition("x")
+    return (int(cy), int(cx or 1))
+
+
+def _cmd_ops(args) -> int:
+    """Run repro.ops workloads on the simulated device.
+
+    Every execution is differentially checked against its host NumPy
+    reference at readback unless --no-check; exit 1 on any mismatch.
+    stdout carries only deterministic simulated-time content.
+    """
+    from repro import ops as opslib
+    from repro.perfmodel.calibration import DEFAULT_COSTS
+
+    if args.ops_command == "run":
+        spec = opslib.get_op(args.op)
+        kw = {}
+        if args.batch is not None:
+            kw["batch"] = args.batch
+        if args.ny is not None:
+            kw["ny"] = args.ny
+        if args.iters is not None:
+            kw["iters"] = args.iters
+        cores = _parse_core_grid(args.cores)
+        try:
+            problem = spec.make_problem(args.size, args.seed, **kw)
+            res = spec.run(problem, cores=cores, check=not args.no_check)
+        except ValueError as exc:
+            print(f"ops run: {exc}", file=sys.stderr)
+            return 2
+        except opslib.OpCheckError as exc:
+            print(f"CHECK FAILED: {exc}")
+            return 1
+        est = spec.estimate(problem, cores, DEFAULT_COSTS)
+        params = " ".join(f"{k}={v}" for k, v in sorted(res.params.items()))
+        achieved = spec.flops(problem) / res.kernel_time_s / 1e9 \
+            if res.kernel_time_s else 0.0
+        print(f"op={res.op} cores={cores[0]}x{cores[1]} {params}")
+        print(f"kernel   {res.kernel_time_s:.6g} s simulated "
+              f"({achieved:.4g} GFLOP/s)")
+        print(f"transfer {res.transfer_time_s:.6g} s PCIe")
+        print(f"model    {est.time_s:.6g} s ({est.gflops:.4g} GFLOP/s, "
+              f"{100 * est.roofline_frac:.1f}% of roofline)")
+        print(f"energy   {res.energy_j:.4g} J device "
+              f"(model {est.energy_j:.4g} J)")
+        print(f"check    {res.check_detail}, sha {res.output_sha}")
+        return 0
+    return _cmd_ops_sweep(args, opslib, DEFAULT_COSTS)
+
+
+def _cmd_ops_sweep(args, opslib, costs) -> int:
+    import json
+
+    from repro.analysis.report import Table
+
+    names = [s.strip() for s in args.only.split(",") if s.strip()] \
+        if args.only else [s.name for s in opslib.list_ops()]
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    grids = [_parse_core_grid(c) for c in args.cores.split(",")
+             if c.strip()]
+    table = Table(
+        f"ops sweep: {len(names)} op(s), sizes {args.sizes}, seed "
+        f"{args.seed} (differential check on every run)",
+        ["op", "params", "cores", "kernel s", "model s", "GFLOP/s",
+         "% roofline", "energy J", "check"])
+    rows, failures = [], 0
+    for name in names:
+        spec = opslib.get_op(name)
+        for size in sizes:
+            try:
+                problem = spec.make_problem(size, args.seed)
+            except ValueError as exc:
+                print(f"skip {name} size={size}: {exc}", file=sys.stderr)
+                continue
+            for cores in grids:
+                try:
+                    res = spec.run(problem, cores=cores)
+                except opslib.OpCheckError as exc:
+                    failures += 1
+                    print(f"CHECK FAILED {name} size={size} "
+                          f"cores={cores[0]}x{cores[1]}: {exc}")
+                    continue
+                except ValueError as exc:
+                    print(f"skip {name} size={size} "
+                          f"cores={cores[0]}x{cores[1]}: {exc}",
+                          file=sys.stderr)
+                    continue
+                est = spec.estimate(problem, cores, costs)
+                achieved = spec.flops(problem) / res.kernel_time_s / 1e9 \
+                    if res.kernel_time_s else 0.0
+                pct = 100 * achieved / est.roofline_gflops \
+                    if est.roofline_gflops else 0.0
+                params = ",".join(f"{k}={v}" for k, v
+                                  in sorted(res.params.items()))
+                table.add_row(name, params, f"{cores[0]}x{cores[1]}",
+                              f"{res.kernel_time_s:.6g}",
+                              f"{est.time_s:.6g}", f"{achieved:.4g}",
+                              f"{pct:.1f}", f"{res.energy_j:.4g}",
+                              res.check_detail)
+                rows.append({**res.to_row(), "model": est.to_row()})
+    print(table.render())
+    if args.out:
+        doc = {"schema": "repro-ops/1", "seed": args.seed, "rows": rows}
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_cluster(args) -> int:
@@ -1000,6 +1166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
+        "ops": _cmd_ops,
     }[args.command]
     try:
         return handler(args)

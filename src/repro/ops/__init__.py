@@ -1,0 +1,40 @@
+"""``repro.ops`` — the multi-workload op library.
+
+Importing this package registers the three concrete ops (blocked SRAM
+matmul, radix-2 FFT pencils, 9-point stencil) into the
+:mod:`repro.ops.registry`; see :mod:`docs/ops.md <docs>` for layouts
+and how to add an op.
+"""
+
+from repro.ops.registry import (
+    OPS,
+    OpCheckError,
+    OpRunResult,
+    OpSpec,
+    get_op,
+    list_ops,
+    register,
+    sha16,
+)
+from repro.ops import fft, matmul, stencil9  # noqa: F401  (self-register)
+from repro.ops.fft import FFT_ULP_BOUND, FftProblem, run_fft
+from repro.ops.matmul import MatmulProblem, run_matmul
+from repro.ops.stencil9 import Stencil9Problem, run_stencil9
+
+__all__ = [
+    "OPS",
+    "OpCheckError",
+    "OpRunResult",
+    "OpSpec",
+    "get_op",
+    "list_ops",
+    "register",
+    "sha16",
+    "FFT_ULP_BOUND",
+    "FftProblem",
+    "MatmulProblem",
+    "Stencil9Problem",
+    "run_fft",
+    "run_matmul",
+    "run_stencil9",
+]

@@ -7,11 +7,14 @@
 * :mod:`repro.perfmodel.scaling` — analytic multi-core / multi-card
   steady-state model used for Tables VII and VIII.
 * :mod:`repro.perfmodel.cpumodel` — Xeon 8260M performance/energy model.
+* :mod:`repro.perfmodel.ops` — roofline/energy estimates for the
+  :mod:`repro.ops` workload library.
 """
 
 from repro.perfmodel.calibration import CostModel, DEFAULT_COSTS
 from repro.perfmodel.cpumodel import XeonModel
 from repro.perfmodel.flows import FlowNetwork, max_min_fair_rates
+from repro.perfmodel.ops import OpEstimate, estimate_op, op_service_time
 from repro.perfmodel.scaling import JacobiScalingModel, MulticoreResult
 
 __all__ = [
@@ -20,6 +23,9 @@ __all__ = [
     "FlowNetwork",
     "JacobiScalingModel",
     "MulticoreResult",
+    "OpEstimate",
     "XeonModel",
+    "estimate_op",
     "max_min_fair_rates",
+    "op_service_time",
 ]

@@ -1,8 +1,9 @@
 """repro.serve — the multi-tenant solve service.
 
 An event-driven, deterministic serving layer that multiplexes many
-:class:`SolveRequest` streams over a pool of simulated e150 devices and
-CPU workers: bounded priority queues with typed admission control
+:class:`SolveRequest` streams — Jacobi solves plus the :mod:`repro.ops`
+workload kinds (matmul, fft, stencil9), batched compatible-kinds-only —
+over a pool of simulated e150 devices and CPU workers: bounded priority queues with typed admission control
 (:class:`AdmissionError`), a batching scheduler that packs compatible
 small grids onto one multi-core launch, a per-member health lifecycle
 (``healthy → suspect → quarantined → reintegrating`` with canary-probe
@@ -33,8 +34,9 @@ from repro.serve.pool import (CpuWorker, DeviceMember, PoolConfig,
                               ServeHang, WorkerPool, best_case_service_s,
                               cpu_service_time, device_service_time,
                               generate_hangs, launch_overhead_s)
-from repro.serve.request import (BACKENDS, AdmissionError, RequestOutcome,
-                                 SolveRequest, iterations_for_tolerance)
+from repro.serve.request import (BACKENDS, WORKLOADS, AdmissionError,
+                                 RequestOutcome, SolveRequest,
+                                 iterations_for_tolerance)
 from repro.serve.scheduler import (BatchPlan, BoundedPriorityQueue,
                                    SchedulerConfig, plan_batch)
 from repro.serve.service import SolveService
@@ -47,6 +49,7 @@ __all__ = [
     "HEALTH_STATES",
     "SERVE_SCHEMA",
     "TRACE_SCHEMA",
+    "WORKLOADS",
     "AdmissionError",
     "BatchPlan",
     "BoundedPriorityQueue",

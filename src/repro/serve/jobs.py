@@ -34,17 +34,57 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ServeSolveConfig:
-    """One unique solve: backend class, grid shape, iteration budget."""
+    """One unique solve: workload kind, backend class, shape, budget."""
 
     backend: str                 #: "device" (BF16 sweep) or "cpu" (FP32)
     nx: int
     ny: int
     iterations: int
+    workload: str = "jacobi"
 
 
-def solve_key(backend: str, nx: int, ny: int, iterations: int) -> str:
-    """Stable key of a unique solve config (the report's ``solves`` map)."""
-    return f"{backend}:{ny}x{nx}:i{iterations}"
+def solve_key(backend: str, nx: int, ny: int, iterations: int,
+              workload: str = "jacobi") -> str:
+    """Stable key of a unique solve config (the report's ``solves`` map).
+
+    Jacobi keys keep their historical ``backend:HxW:iN`` shape so old
+    reports and tests still match; op workloads prefix their kind.
+    """
+    base = f"{backend}:{ny}x{nx}:i{iterations}"
+    return base if workload == "jacobi" else f"{workload}:{base}"
+
+
+def _run_serve_op(config: ServeSolveConfig) -> Tuple[dict, dict]:
+    """Functional fingerprint of one op-workload config.
+
+    The answer is the *host reference* of the op's determinism contract
+    (bit-exact mirror of the device kernels), which is placement- and
+    backend-independent — exactly like the Jacobi post-pass.  Repeats
+    (``iterations`` for matmul/fft) do not change the answer, so one
+    execution fingerprints them all.
+    """
+    import numpy as np
+
+    from repro.ops import FftProblem, MatmulProblem, Stencil9Problem
+    from repro.ops.fft import fft_reference_bits
+    from repro.ops.matmul import matmul_reference_bits
+    from repro.ops.stencil9 import stencil9_reference_bits
+
+    if config.workload == "matmul":
+        problem = MatmulProblem(m=config.ny, k=config.nx, n=config.nx)
+        out = matmul_reference_bits(*problem.inputs())
+    elif config.workload == "fft":
+        problem = FftProblem(n=config.nx, batch=config.ny)
+        out = fft_reference_bits(problem.inputs())
+    else:
+        problem = Stencil9Problem(nx=config.nx, ny=config.ny,
+                                  iters=config.iterations)
+        out = stencil9_reference_bits(problem.halo_grid_bits(),
+                                      problem.iters)[1:-1, 1:-1]
+    sha = hashlib.sha256(np.ascontiguousarray(out).tobytes()).hexdigest()
+    payload = {"grid_sha": sha, "workload": config.workload}
+    obs = {"points": config.nx * config.ny}
+    return payload, obs
 
 
 def _run_serve_solve(config: ServeSolveConfig, seed: int
@@ -56,6 +96,8 @@ def _run_serve_solve(config: ServeSolveConfig, seed: int
                                   residual_f32)
     from repro.dtypes.bf16 import bits_to_f32
 
+    if getattr(config, "workload", "jacobi") != "jacobi":
+        return _run_serve_op(config)
     problem = LaplaceProblem(nx=config.nx, ny=config.ny)
     if config.backend == "device":
         bits = jacobi_solve_bf16(problem.initial_grid_bf16(),
@@ -105,10 +147,10 @@ def run_solve_postpass(outcomes: Sequence[RequestOutcome],
             continue
         req = o.request
         key = solve_key(o.backend_used, req.nx, req.ny,
-                        req.effective_iterations)
+                        req.effective_iterations, req.workload)
         wanted.setdefault(key, ServeSolveConfig(
             backend=o.backend_used, nx=req.nx, ny=req.ny,
-            iterations=req.effective_iterations))
+            iterations=req.effective_iterations, workload=req.workload))
     keys = sorted(wanted)
     specs = [JobSpec(kind="serve_solve", config=wanted[k]) for k in keys]
     results = sweep_results(specs, jobs=jobs, cache=cache,
@@ -121,5 +163,6 @@ def run_solve_postpass(outcomes: Sequence[RequestOutcome],
             continue
         req = o.request
         annotated.append(replace(o, solve_key=solve_key(
-            o.backend_used, req.nx, req.ny, req.effective_iterations)))
+            o.backend_used, req.nx, req.ny, req.effective_iterations,
+            req.workload)))
     return solves, annotated

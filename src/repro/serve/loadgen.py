@@ -31,7 +31,7 @@ from repro.serve.chaos import ChaosConfig, build_chaos
 from repro.serve.health import HealthConfig
 from repro.serve.pool import (PoolConfig, ServeHang, best_case_service_s,
                               generate_hangs)
-from repro.serve.request import AdmissionError, SolveRequest
+from repro.serve.request import WORKLOADS, AdmissionError, SolveRequest
 from repro.serve.scheduler import SchedulerConfig
 from repro.serve.service import SolveService
 from repro.serve.telemetry import ServeReport
@@ -66,6 +66,11 @@ class LoadGenConfig:
     cpu_fraction: float = 0.25       #: share of requests targeting CPU
     deadline_fraction: float = 0.25  #: share of requests carrying an SLO
     deadline_slack: float = 16.0     #: deadline = slack x best-case time
+    #: workload kinds drawn uniformly per request.  The default keeps
+    #: the population — and therefore every recorded trace — byte-
+    #: identical to the pre-ops service; the mix draws from its own RNG
+    #: stream, so adding kinds never perturbs sizes or arrival times.
+    workloads: Tuple[str, ...] = ("jacobi",)
 
     def __post_init__(self):
         if self.mode not in ("open", "closed"):
@@ -83,10 +88,16 @@ class LoadGenConfig:
             raise ValueError("fractions must be within [0, 1]")
         if self.deadline_slack <= 1.0:
             raise ValueError("deadline_slack must exceed 1")
+        if not self.workloads or any(w not in WORKLOADS
+                                     for w in self.workloads):
+            raise ValueError(
+                f"workloads must be a non-empty subset of {WORKLOADS}, "
+                f"got {self.workloads!r}")
 
     def to_dict(self) -> dict:
         doc = {f.name: getattr(self, f.name) for f in fields(self)}
         doc["sizes"] = list(self.sizes)
+        doc["workloads"] = list(self.workloads)
         return doc
 
     @classmethod
@@ -94,6 +105,8 @@ class LoadGenConfig:
         kw = {f.name: doc[f.name] for f in fields(cls) if f.name in doc}
         if "sizes" in kw:
             kw["sizes"] = tuple(kw["sizes"])
+        if "workloads" in kw:
+            kw["workloads"] = tuple(kw["workloads"])
         return cls(**kw)
 
 
@@ -102,20 +115,43 @@ def _derived_rng(seed: int, stream: int) -> random.Random:
     return random.Random(seed * 1_000_003 + stream)
 
 
+def _snap_size(workload: str, nx: int) -> int:
+    """Snap a drawn grid extent to the workload's validity constraint.
+
+    A pure function of (workload, nx) so mixes replay: fft pencils need
+    a power-of-two length (round down), stencil9 a 32-multiple width
+    (round up).  jacobi and matmul accept any extent.
+    """
+    if workload == "fft":
+        return 1 << (max(4, nx).bit_length() - 1)
+    if workload == "stencil9":
+        return -(-nx // 32) * 32
+    return nx
+
+
 def synthesize_requests(cfg: LoadGenConfig, pool: PoolConfig,
                         costs: CostModel = DEFAULT_COSTS,
                         n_priorities: int = 3) -> List[SolveRequest]:
-    """The deterministic request population for one seed."""
+    """The deterministic request population for one seed.
+
+    The workload mix draws from stream 3 — and only when more than one
+    kind is configured — so single-kind populations (in particular the
+    default jacobi-only one) are bit-identical to what this function
+    produced before workload mixing existed.
+    """
     rng = _derived_rng(cfg.seed, 1)
+    wl_rng = _derived_rng(cfg.seed, 3)
     reqs: List[SolveRequest] = []
     for rid in range(cfg.n_requests):
         nx = rng.choice(cfg.sizes)
         ny = rng.choice(cfg.sizes)
         backend = "cpu" if rng.random() < cfg.cpu_fraction else "device"
         priority = rng.randrange(n_priorities)
-        req = SolveRequest(rid=rid, nx=nx, ny=ny,
+        workload = cfg.workloads[0] if len(cfg.workloads) == 1 \
+            else wl_rng.choice(cfg.workloads)
+        req = SolveRequest(rid=rid, nx=_snap_size(workload, nx), ny=ny,
                            iterations=cfg.iterations, backend=backend,
-                           priority=priority)
+                           priority=priority, workload=workload)
         if rng.random() < cfg.deadline_fraction:
             base = best_case_service_s(req, pool, costs)
             req = replace(req, deadline_s=cfg.deadline_slack * base)

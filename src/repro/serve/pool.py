@@ -135,30 +135,86 @@ class PoolConfig:
 # deterministic service-time models
 # --------------------------------------------------------------------------
 
+#: float32 lanes per Jacobi point update (3 adds + 1 multiply); converts
+#: op-workload FLOP counts into the point-throughput vocabulary of
+#: :class:`~repro.perfmodel.cpumodel.XeonModel`.
+_JACOBI_FLOPS_PER_POINT = 4.0
+
+
+def _op_problem_and_repeats(req: SolveRequest):
+    """The :mod:`repro.ops` problem behind a non-Jacobi request.
+
+    Returns ``(op_name, problem, repeats)``: matmul/fft repeat one op
+    execution ``iterations`` times; stencil9 folds the iteration budget
+    into the problem's sweep count.  Pure function of the request, so
+    admission decisions and traces replay.
+    """
+    from repro.ops import FftProblem, MatmulProblem, Stencil9Problem
+    if req.workload == "matmul":
+        return "matmul", MatmulProblem(m=req.ny, k=req.nx, n=req.nx), \
+            req.iterations
+    if req.workload == "fft":
+        return "fft", FftProblem(n=req.nx, batch=req.ny), req.iterations
+    if req.workload == "stencil9":
+        return "stencil9", Stencil9Problem(nx=req.nx, ny=req.ny,
+                                           iters=req.iterations), 1
+    raise ValueError(f"not an op workload: {req.workload!r}")
+
+
 def device_service_time(req: SolveRequest, cores_y: int, cores_x: int,
                         costs: CostModel = DEFAULT_COSTS) -> float:
     """Simulated solve time of ``req`` on a ``cores_y x cores_x`` slice.
 
-    The same analytic model the Table-VIII rows use, so a request served
-    on the full grid costs exactly what ``repro solve --backend
-    e150-model`` would report.
+    Jacobi requests use the same analytic model the Table-VIII rows do,
+    so a request served on the full grid costs exactly what ``repro
+    solve --backend e150-model`` would report.  Op workloads use the
+    calibrated roofline of :func:`repro.perfmodel.ops.op_service_time`,
+    built from the very same :class:`CostModel` constants.
     """
+    if req.workload != "jacobi":
+        from repro.perfmodel.ops import op_service_time
+        op, problem, repeats = _op_problem_and_repeats(req)
+        return repeats * op_service_time(op, problem, (cores_y, cores_x),
+                                         costs)
     model = JacobiScalingModel(costs)
     return model.run(req.nx, req.ny, req.effective_iterations,
                      cores_y, cores_x).solve_time_s
 
 
 def cpu_service_time(req: SolveRequest, threads: int) -> float:
-    """Simulated solve time of ``req`` on a CPU worker slot."""
-    return XeonModel().solve_time_s(req.points, req.effective_iterations,
-                                    threads)
+    """Simulated solve time of ``req`` on a CPU worker slot.
+
+    Op workloads convert their FLOP count into equivalent Jacobi point
+    updates (:data:`_JACOBI_FLOPS_PER_POINT` lanes each) so the one
+    calibrated Xeon throughput curve prices every kind.
+    """
+    xeon = XeonModel()
+    if req.workload != "jacobi":
+        _op, problem, repeats = _op_problem_and_repeats(req)
+        points = max(1, round(problem.flops() * repeats
+                              / _JACOBI_FLOPS_PER_POINT))
+        return xeon.solve_time_s(points, 1, threads)
+    return xeon.solve_time_s(req.points, req.effective_iterations,
+                             threads)
+
+
+def _pcie_round_trip_bytes(req: SolveRequest) -> int:
+    """Total host<->device bytes one request moves, both directions."""
+    if req.workload == "matmul":
+        # A (ny,nx) + B (nx,nx) BF16 in, C (ny,nx) BF16 out
+        return (2 * req.ny * req.nx + req.nx * req.nx) * _BF16
+    if req.workload == "fft":
+        # float32 planes: xr/xi + twiddles in, xr/xi out
+        return 5 * req.nx * req.ny * 4
+    # jacobi and stencil9 round-trip one padded BF16 halo grid
+    return 2 * (req.nx + 2) * (req.ny + 2) * _BF16
 
 
 def launch_overhead_s(requests: Sequence[SolveRequest],
                       costs: CostModel = DEFAULT_COSTS) -> float:
-    """PCIe cost of moving a batch's grids to the device and back."""
-    total = sum((r.nx + 2) * (r.ny + 2) * _BF16 for r in requests)
-    return 2 * (costs.pcie_latency + total / costs.pcie_bw)
+    """PCIe cost of moving a batch's operands to the device and back."""
+    total = sum(_pcie_round_trip_bytes(r) for r in requests)
+    return 2 * costs.pcie_latency + total / costs.pcie_bw
 
 
 def best_case_service_s(req: SolveRequest, cfg: PoolConfig,
@@ -186,9 +242,12 @@ def cluster_cards_needed(req: SolveRequest,
     """Cards an admitted device request spans: ``ceil(points/capacity)``.
 
     1 when spanning is disabled (``capacity is None``), the request
-    targets the CPU backend, or the grid fits one card.
+    targets the CPU backend, the grid fits one card, or the request is
+    an op workload (the halo-exchange cluster timeline is Jacobi-only;
+    op requests always run on a single member).
     """
-    if capacity is None or req.backend != "device":
+    if capacity is None or req.backend != "device" \
+            or req.workload != "jacobi":
         return 1
     return max(1, math.ceil(req.points / capacity))
 

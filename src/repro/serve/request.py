@@ -22,6 +22,7 @@ from typing import Optional
 
 __all__ = [
     "BACKENDS",
+    "WORKLOADS",
     "AdmissionError",
     "RequestOutcome",
     "SolveRequest",
@@ -30,6 +31,12 @@ __all__ = [
 
 #: backend classes a request may target.
 BACKENDS = ("device", "cpu")
+
+#: workload kinds the service schedules.  ``jacobi`` is the original
+#: 5-point solve; the others come from the :mod:`repro.ops` library
+#: (``iterations`` counts op repeats for matmul/fft and sweeps for
+#: stencil9 — see :func:`repro.serve.pool.device_service_time`).
+WORKLOADS = ("jacobi", "matmul", "fft", "stencil9")
 
 
 class AdmissionError(RuntimeError):
@@ -76,6 +83,14 @@ class SolveRequest:
     time); the service turns it into an absolute deadline at admission.
     ``tolerance`` (if given) converts to an iteration budget via
     :func:`iterations_for_tolerance`, capped by ``iterations``.
+
+    ``workload`` selects what the request computes.  ``jacobi`` keeps
+    the original meaning of every field.  For the :mod:`repro.ops`
+    kinds the grid fields parameterize the op — ``matmul``: ``C[ny,nx]
+    = A[ny,nx] @ B[nx,nx]``; ``fft``: pencils of power-of-two length
+    ``nx``, batch ``ny``; ``stencil9``: an ``ny x nx`` interior with
+    ``nx`` a 32-multiple — and ``iterations`` counts op repeats
+    (matmul/fft) or sweeps (stencil9).  ``tolerance`` is Jacobi-only.
     """
 
     rid: int
@@ -86,6 +101,7 @@ class SolveRequest:
     backend: str = "device"
     priority: int = 1            #: 0 = highest class
     deadline_s: Optional[float] = None
+    workload: str = "jacobi"
 
     def __post_init__(self):
         if self.nx < 3 or self.ny < 3:
@@ -99,6 +115,19 @@ class SolveRequest:
             raise ValueError("priority must be non-negative")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"workload must be one of {WORKLOADS}, "
+                             f"got {self.workload!r}")
+        if self.workload != "jacobi" and self.tolerance is not None:
+            raise ValueError(
+                "tolerance targets are jacobi-only; op workloads take an "
+                "explicit iteration (repeat) count")
+        if self.workload == "fft" and self.nx & (self.nx - 1):
+            raise ValueError(
+                f"fft pencils need a power-of-two length, got nx={self.nx}")
+        if self.workload == "stencil9" and self.nx % 32:
+            raise ValueError(
+                f"stencil9 needs nx as a multiple of 32, got nx={self.nx}")
 
     @property
     def effective_iterations(self) -> int:

@@ -322,8 +322,11 @@ class SolveService:
         if first.points <= limit:
             room = min(self.scheduler_cfg.max_batch, dev.grid[0]) - 1
             if room > 0:
+                # only compatible kinds share a launch: mixed-workload
+                # traffic packs matmul with matmul, fft with fft, ...
                 batch += self.queue.pop_where(
                     lambda r: (r.backend == "device"
+                               and r.workload == first.workload
                                and r.points <= limit
                                and self._fits_one_member(r)), limit=room)
         return plan_batch(batch, dev.grid)

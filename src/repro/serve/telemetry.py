@@ -31,6 +31,8 @@ __all__ = ["SERVE_SCHEMA", "ServeMetrics", "ServeReport",
 #: schema tag of the JSON report; bump on incompatible layout changes.
 #: /2 added the "resilience" section (health lifecycle, MTTR,
 #: fault-attributed latency) and the sdc/restart outcome columns.
+#: Additive fields since /2 (no bump needed): the "latency_by_workload"
+#: section and the "workload" outcome column (mixed-workload serving).
 SERVE_SCHEMA = "repro-serve/2"
 
 
@@ -105,6 +107,21 @@ class ServeReport:
             "total_s": latency_summary([o.total_s for o in done]),
         }
 
+    def latencies_by_workload(self) -> Dict[str, Dict[str, dict]]:
+        """Per-kind p50/p95/p99 over completed requests, keyed by the
+        request's ``workload`` — the mixed-serving SLO view."""
+        by_kind: Dict[str, List[RequestOutcome]] = {}
+        for o in self.completed():
+            by_kind.setdefault(o.request.workload, []).append(o)
+        return {
+            kind: {
+                "wait_s": latency_summary([o.wait_s for o in done]),
+                "service_s": latency_summary([o.service_s for o in done]),
+                "total_s": latency_summary([o.total_s for o in done]),
+            }
+            for kind, done in sorted(by_kind.items())
+        }
+
     def slo(self) -> Dict[str, int]:
         """Deadline accounting over requests that declared one."""
         met = missed = 0
@@ -139,6 +156,7 @@ class ServeReport:
             },
             "throughput_rps": self.throughput_rps(),
             "latency": self.latencies(),
+            "latency_by_workload": self.latencies_by_workload(),
             "slo": self.slo(),
             "queue": {
                 "max_depth": self.metrics.max_depth,
@@ -176,6 +194,7 @@ def _outcome_row(o: RequestOutcome) -> dict:
     return {
         "rid": o.request.rid,
         "status": o.status,
+        "workload": o.request.workload,
         "backend": o.request.backend,
         "backend_used": o.backend_used,
         "worker": o.worker,
@@ -221,7 +240,19 @@ def render_serve_report(report: ServeReport) -> str:
     util = Table("pool utilization", ["member", "busy fraction"])
     for name, frac in sorted(report.utilization.items()):
         util.add_row(name, f"{frac:.4f}")
-    parts = [table.render(), "", counters.render(), "", util.render()]
+    parts = [table.render()]
+    by_kind = report.latencies_by_workload()
+    if len(by_kind) > 1:
+        kinds = Table("latency by workload (total_s)",
+                      ["workload", "n", "p50 s", "p95 s", "p99 s",
+                       "mean s", "max s"])
+        for kind, summaries in by_kind.items():
+            s = summaries["total_s"]
+            kinds.add_row(kind, s["n"], f"{s['p50']:.6g}",
+                          f"{s['p95']:.6g}", f"{s['p99']:.6g}",
+                          f"{s['mean']:.6g}", f"{s['max']:.6g}")
+        parts += ["", kinds.render()]
+    parts += ["", counters.render(), "", util.render()]
     res = report.resilience
     if res.get("health"):
         health = Table(

@@ -1,0 +1,100 @@
+"""Calibrated roofline/energy estimates for the op library."""
+
+import pytest
+
+from repro.ops import FftProblem, MatmulProblem, Stencil9Problem
+from repro.perfmodel.calibration import DEFAULT_COSTS
+from repro.perfmodel.ops import (
+    OpEstimate,
+    estimate_op,
+    fft_estimate,
+    matmul_estimate,
+    op_service_time,
+    stencil9_estimate,
+)
+
+
+class TestEstimateShape:
+    @pytest.mark.parametrize("fn,problem", [
+        (matmul_estimate, MatmulProblem(m=64, k=64, n=64)),
+        (fft_estimate, FftProblem(n=64, batch=16)),
+        (stencil9_estimate, Stencil9Problem(nx=64, ny=64)),
+    ])
+    def test_fields_are_consistent(self, fn, problem):
+        est = fn(problem, (1, 1))
+        assert isinstance(est, OpEstimate)
+        assert est.compute_s > 0 and est.memory_s > 0
+        assert est.roofline_s == max(est.compute_s, est.memory_s)
+        # overlap-loss combination: bounded by sum, at least the max
+        assert est.roofline_s <= est.time_s <= est.compute_s + est.memory_s
+        assert 0 < est.roofline_frac <= 1.0
+        assert est.gflops <= est.roofline_gflops
+        assert est.energy_j == pytest.approx(est.power_w * est.time_s)
+        assert est.bytes_in > 0 and est.bytes_out > 0
+
+    def test_to_row_is_json_friendly(self):
+        import json
+        est = matmul_estimate(MatmulProblem(m=64, k=64, n=64), (2, 2))
+        row = est.to_row()
+        json.dumps(row)
+        assert row["op"] == "matmul" and row["cores"] == [2, 2]
+
+
+class TestScaling:
+    def test_more_cores_never_slower(self):
+        p = MatmulProblem(m=256, k=256, n=256)
+        t1 = matmul_estimate(p, (1, 1)).time_s
+        t4 = matmul_estimate(p, (2, 2)).time_s
+        assert t4 < t1
+
+    def test_bigger_problem_takes_longer(self):
+        t_small = fft_estimate(FftProblem(n=64, batch=16), (1, 1)).time_s
+        t_big = fft_estimate(FftProblem(n=256, batch=16), (1, 1)).time_s
+        assert t_big > t_small
+
+    def test_stencil_iters_scale_time(self):
+        t1 = stencil9_estimate(Stencil9Problem(nx=64, ny=64, iters=1),
+                               (1, 1)).time_s
+        t4 = stencil9_estimate(Stencil9Problem(nx=64, ny=64, iters=4),
+                               (1, 1)).time_s
+        assert t4 > 2 * t1
+
+    def test_power_grows_with_core_count(self):
+        p = Stencil9Problem(nx=64, ny=64)
+        assert stencil9_estimate(p, (2, 2)).power_w > \
+            stencil9_estimate(p, (1, 1)).power_w
+
+
+class TestDispatch:
+    def test_estimate_op_routes_by_name(self):
+        p = FftProblem(n=32, batch=8)
+        assert estimate_op("fft", p, (1, 1)) == fft_estimate(p, (1, 1))
+
+    def test_estimate_op_unknown_raises(self):
+        with pytest.raises(KeyError, match="no estimator"):
+            estimate_op("conv2d", None, (1, 1))
+
+    def test_op_service_time_is_the_estimate_time(self):
+        p = MatmulProblem(m=64, k=64, n=64)
+        assert op_service_time("matmul", p, (1, 1)) == \
+            matmul_estimate(p, (1, 1), DEFAULT_COSTS).time_s
+
+
+class TestModelTracksSimulator:
+    """The estimate must stay within a loose factor of the DES —
+    it drives serve admission, so a wildly wrong model would starve or
+    overload the pool."""
+
+    @pytest.mark.parametrize("op,problem", [
+        ("matmul", MatmulProblem(m=64, k=64, n=64)),
+        ("fft", FftProblem(n=32, batch=16)),
+        ("stencil9", Stencil9Problem(nx=64, ny=64, iters=2)),
+    ])
+    def test_within_4x_of_des(self, op, problem):
+        from repro.ops import get_op
+        res = get_op(op).run(problem, cores=(1, 1))
+        est = estimate_op(op, problem, (1, 1))
+        ratio = res.kernel_time_s / est.time_s
+        assert 0.25 < ratio < 4.0, (
+            f"{op}: DES {res.kernel_time_s:.3g}s vs model "
+            f"{est.time_s:.3g}s (ratio {ratio:.2f})")

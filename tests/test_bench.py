@@ -72,6 +72,28 @@ class TestCompare:
         cur = _doc([_res(), _res(name="new_bench")])
         assert bench.compare(cur, base) == []
 
+    def test_extra_benchmark_is_reported_as_note(self):
+        base = _doc([_res()])
+        cur = _doc([_res(), _res(name="new_bench")])
+        notes = []
+        assert bench.compare(cur, base, notes=notes) == []
+        assert len(notes) == 1
+        assert "new_bench" in notes[0] and "new benchmark" in notes[0]
+
+    def test_no_notes_when_benchmark_sets_match(self):
+        doc = _doc([_res()])
+        notes = []
+        assert bench.compare(doc, doc, notes=notes) == []
+        assert notes == []
+
+    def test_notes_do_not_mask_real_failures(self):
+        base = _doc([_res(value=100.0)])
+        cur = _doc([_res(value=50.0), _res(name="new_bench")])
+        notes = []
+        failures = bench.compare(cur, base, notes=notes)
+        assert len(failures) == 1 and "regressed" in failures[0]
+        assert len(notes) == 1 and "new_bench" in notes[0]
+
     def test_smoke_vs_full_mismatch_fails(self):
         base = _doc([_res()], smoke=True)
         cur = _doc([_res()], smoke=False)
